@@ -1,0 +1,50 @@
+"""E7 (ablation) — Section IV-A: the LLaVA backbone case study.
+
+The paper observes that "an enhanced LLM backbone generally enhances
+performance, particularly aligned with the text capabilities across
+Mistral-7b, Vicuna-13b, Yi-34b and LLaMa-3-8b".  This bench sweeps the
+LLaVA variants and correlates backbone text ability with benchmark score.
+"""
+
+import pytest
+
+from repro.core.metrics import spearman_rank_correlation
+from repro.models import LLAVA_BACKBONE_STUDY, build_model
+
+
+@pytest.fixture(scope="module")
+def backbone_sweep(harness):
+    rows = []
+    for name, backbone_label in LLAVA_BACKBONE_STUDY:
+        model = build_model(name)
+        with_choice = harness.zero_shot_standard(model).pass_at_1()
+        no_choice = harness.zero_shot_challenge(model).pass_at_1()
+        rows.append((name, backbone_label, model.backbone.text_ability,
+                     with_choice, no_choice))
+    return rows
+
+
+def test_backbone_sweep_runs(benchmark, harness):
+    model = build_model("llava-7b")
+    result = benchmark(harness.zero_shot_standard, model)
+    assert len(result) == 142
+
+
+def test_text_ability_correlates_with_score(backbone_sweep):
+    abilities = [row[2] for row in backbone_sweep]
+    sa_scores = [row[4] for row in backbone_sweep]
+    rho = spearman_rank_correlation(abilities, sa_scores)
+    assert rho > 0.7
+
+    print()
+    print("LLaVA backbone study (Section IV-A)")
+    print(f"{'model':<16}{'backbone':<20}{'ability':<9}"
+          f"{'MC':<7}{'SA':<7}")
+    for name, label, ability, mc, sa in backbone_sweep:
+        print(f"{name:<16}{label:<20}{ability:<9.2f}{mc:<7.2f}{sa:<7.2f}")
+    print(f"Spearman rho (ability vs SA score): {rho:.2f}")
+
+
+def test_largest_backbone_wins_challenge(backbone_sweep):
+    by_ability = sorted(backbone_sweep, key=lambda r: r[2])
+    assert by_ability[-1][4] >= by_ability[0][4]

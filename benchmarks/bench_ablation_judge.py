@@ -1,0 +1,72 @@
+"""E9 (ablation) — auto-judge accuracy on a perturbation suite.
+
+The paper's hybrid evaluation relies on a GPT-4 auto-judge for answer
+equivalence.  This bench measures our judge's agreement against ground
+truth on a generated suite of positive paraphrases (must accept) and
+negative perturbations (must reject), across every benchmark question.
+"""
+
+import pytest
+
+from repro.judge import AutoJudge, answers_equivalent
+from repro.models.llm import LlmBackbone
+
+
+@pytest.fixture(scope="module")
+def perturbation_suite(chipvqa):
+    """(question, response, should_accept) triples."""
+    backbone_a = LlmBackbone("judge-probe-a", 7.0, 0.5)
+    backbone_b = LlmBackbone("judge-probe-b", 7.0, 0.5)
+    suite = []
+    for question in chipvqa:
+        suite.append((question, question.gold_text, True))
+        for backbone in (backbone_a, backbone_b):
+            suite.append((question, backbone.phrase_correct(question), True))
+            suite.append((question, backbone.phrase_incorrect(question),
+                          False))
+        for alias in question.answer.aliases:
+            suite.append((question, alias, True))
+        suite.append((question, "", False))
+    return suite
+
+
+def test_judge_throughput(benchmark, chipvqa):
+    judge = AutoJudge()
+    questions = list(chipvqa)[:50]
+
+    def judge_all():
+        return [judge.judge(q, q.gold_text).correct for q in questions]
+
+    verdicts = benchmark(judge_all)
+    assert all(verdicts)
+
+
+def test_judge_accuracy_is_perfect_on_suite(perturbation_suite):
+    errors = []
+    for question, response, should_accept in perturbation_suite:
+        verdict = answers_equivalent(question, response)
+        if verdict != should_accept:
+            errors.append((question.qid, response, should_accept))
+    accuracy = 1.0 - len(errors) / len(perturbation_suite)
+
+    print()
+    print(f"judge perturbation suite: {len(perturbation_suite)} cases, "
+          f"accuracy {accuracy:.4f}")
+    for qid, response, expected in errors[:10]:
+        print(f"  MISJUDGED {qid}: {response!r} (expected "
+              f"{'accept' if expected else 'reject'})")
+    assert accuracy == 1.0, errors[:10]
+
+
+def test_judge_rejects_letter_swaps(chipvqa):
+    """Every wrong option letter must be rejected on every MC question."""
+    wrong = 0
+    for question in chipvqa:
+        if not question.is_multiple_choice:
+            continue
+        for index in range(4):
+            if index == question.correct_choice:
+                continue
+            if answers_equivalent(question, "ABCD"[index]):
+                wrong += 1
+    assert wrong == 0

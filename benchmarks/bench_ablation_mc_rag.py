@@ -1,0 +1,57 @@
+"""E8 (ablation) — the 'choices as RAG' effect of Section IV-A.
+
+The paper attributes MC's higher pass rates to the answer options acting
+like retrieval-augmented context.  This bench quantifies the MC -> SA drop
+for every model and checks the claimed direction holds universally and is
+large (GPT-4o: 0.44 -> 0.20).
+"""
+
+import pytest
+
+from repro.core.harness import run_table2
+from repro.core.metrics import mc_sa_gap
+from repro.models import NO_CHOICE, WITH_CHOICE, build_model, build_zoo
+from repro.models.zoo import TABLE2_ROW_ORDER
+
+
+@pytest.fixture(scope="module")
+def gaps(harness):
+    results = run_table2(build_zoo(), harness)
+    return {
+        name: mc_sa_gap(settings[WITH_CHOICE], settings[NO_CHOICE])
+        for name, settings in results.items()
+    }
+
+
+def test_gap_computation_speed(benchmark, harness):
+    model = build_model("gpt-4o")
+
+    def both():
+        return mc_sa_gap(harness.zero_shot_standard(model),
+                         harness.zero_shot_challenge(model))
+
+    gap = benchmark.pedantic(both, rounds=2, iterations=1)
+    assert gap > 0
+
+
+def test_gap_positive_for_every_model(gaps):
+    for name, gap in gaps.items():
+        assert gap >= -0.01, name
+
+    print()
+    print("MC-as-RAG gap (pass@1 with choices minus without)")
+    for name, _ in TABLE2_ROW_ORDER:
+        print(f"  {name:<16}{gaps[name]:+.2f}")
+
+
+def test_gpt4o_gap_magnitude(gaps):
+    # paper: 0.44 -> 0.20, a 24-point drop
+    assert gaps["gpt-4o"] == pytest.approx(0.24, abs=0.02)
+
+
+def test_stronger_models_have_larger_gaps_on_average(gaps):
+    """Random-guess floor helps weak models on MC; strong models lose the
+    most when options vanish."""
+    strong = [gaps["gpt-4o"], gaps["vila-yi-34b"], gaps["llama-3.2-90b"]]
+    weak = [gaps["kosmos-2"], gaps["paligemma"]]
+    assert sum(strong) / len(strong) > sum(weak) / len(weak)

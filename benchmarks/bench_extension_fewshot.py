@@ -1,0 +1,60 @@
+"""Extension study — few-shot prompting over the zoo.
+
+The paper evaluates zero-shot only; this extension sweeps k in-context
+exemplars (drawn cross-category, no leakage) and checks the expected
+shape: monotone saturating gains, with weaker models gaining relatively
+more headroom.  (An extension, not a paper reproduction.)
+"""
+
+import pytest
+
+from repro.core.fewshot import fewshot_prompt, select_exemplars, with_fewshot
+from repro.models import build_model
+from repro.tokenizer import default_tokenizer
+
+
+@pytest.fixture(scope="module")
+def kshot_scores(harness):
+    model = build_model("llava-13b")
+    scores = {}
+    for k in (0, 1, 4, 8):
+        variant = with_fewshot(model, k)
+        scores[k] = harness.zero_shot_standard(variant).pass_at_1()
+    return scores
+
+
+def test_fewshot_prompt_build_speed(benchmark, chipvqa):
+    target = chipvqa.get("dig-05")
+    prompt = benchmark(fewshot_prompt, chipvqa, target, 4)
+    assert "Example 4:" in prompt
+
+
+def test_kshot_monotone_saturating(kshot_scores):
+    ks = sorted(kshot_scores)
+    values = [kshot_scores[k] for k in ks]
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    print()
+    print("few-shot sweep (LLaVA-13b, with-choice pass@1)")
+    for k in ks:
+        print(f"  k={k:<3}{kshot_scores[k]:.2f}")
+
+
+def test_prompt_token_cost_grows_linearly(chipvqa):
+    """Each exemplar costs prompt tokens — quantify the trade-off."""
+    tokenizer = default_tokenizer()
+    target = chipvqa.get("arc-06")
+    costs = [tokenizer.count(fewshot_prompt(chipvqa, target, k))
+             for k in (0, 2, 4, 8)]
+    assert all(a < b for a, b in zip(costs, costs[1:]))
+    per_exemplar = (costs[-1] - costs[0]) / 8
+    print(f"\nprompt cost: ~{per_exemplar:.0f} tokens per exemplar")
+    assert 20 < per_exemplar < 400
+
+
+def test_no_leakage_into_any_prompt(chipvqa):
+    for qid in ("dig-01", "ana-44", "mfg-02", "phy-23", "arc-20"):
+        target = chipvqa.get(qid)
+        exemplars = select_exemplars(chipvqa, target, 6)
+        assert target.qid not in {e.qid for e in exemplars}
+        assert all(e.category is not target.category for e in exemplars)

@@ -1,0 +1,78 @@
+"""Extension study — the paper's future work: domain fine-tuning.
+
+Section V targets "ChipVQA-oriented dataset collection, VLM training and
+development, targeting a low-cost yet effective open-source foundation
+model release".  This bench sweeps simulated domain-adaptation budgets on
+an open-source model and checks the expected shape: log-linear gains with
+data, cross-discipline transfer, and a ceiling below perfect accuracy.
+(An extension, not a paper reproduction — see DESIGN.md.)
+"""
+
+import pytest
+
+from repro.core.question import Category
+from repro.models import WITH_CHOICE, build_model
+from repro.models.finetune import FinetuneRecipe, finetune
+
+
+@pytest.fixture(scope="module")
+def sweep(harness):
+    base = build_model("llava-7b")
+    rows = [("base", base, harness.zero_shot_standard(base).pass_at_1())]
+    for label, examples in (("1k", 1000), ("4k", 4000), ("16k", 16000)):
+        tuned = finetune(base, FinetuneRecipe.uniform(examples),
+                         suffix=f"ft-{label}")
+        score = harness.zero_shot_standard(tuned).pass_at_1()
+        rows.append((label, tuned, score))
+    return rows
+
+
+def test_finetune_sweep_speed(benchmark, harness):
+    base = build_model("llava-7b")
+
+    def run_one():
+        tuned = finetune(base, FinetuneRecipe.uniform(4000))
+        return harness.zero_shot_standard(tuned).pass_at_1()
+
+    score = benchmark.pedantic(run_one, rounds=2, iterations=1)
+    assert score > 0
+
+
+def test_gains_are_monotone_and_saturating(sweep):
+    scores = [score for _, _, score in sweep]
+    assert all(a <= b for a, b in zip(scores, scores[1:]))
+    # diminishing returns per 4x data step
+    gain_1 = scores[1] - scores[0]
+    gain_3 = scores[3] - scores[2]
+    assert gain_3 <= gain_1 + 0.02
+
+    print()
+    print("domain fine-tuning sweep (LLaVA-7b, with-choice pass@1)")
+    for label, _, score in sweep:
+        print(f"  {label:<6}{score:.2f}")
+
+
+def test_tuned_open_model_narrows_gpt4o_gap(sweep, harness):
+    """The future-work thesis: enough domain data makes a small open model
+    competitive with the generalist proprietary one (cf. ChipNeMo)."""
+    gpt = harness.zero_shot_standard(build_model("gpt-4o")).pass_at_1()
+    base_score = sweep[0][2]
+    best_score = sweep[-1][2]
+    assert gpt - base_score > 0.15        # the original gap is large
+    assert gpt - best_score < 0.05        # 16k examples close it
+    print(f"\ngap to GPT-4o: base {gpt - base_score:+.2f} -> "
+          f"16k-tuned {gpt - best_score:+.2f}")
+
+
+def test_targeted_training_transfers(harness):
+    """Digital-only data lifts Architecture (shared skills) measurably."""
+    base = build_model("llava-7b")
+    recipe = FinetuneRecipe({Category.DIGITAL: 8000})
+    tuned = finetune(base, recipe, suffix="ft-digital")
+    base_rates = harness.zero_shot_standard(base).pass_at_1_by_category()
+    tuned_rates = harness.zero_shot_standard(tuned).pass_at_1_by_category()
+    assert tuned_rates[Category.DIGITAL] > base_rates[Category.DIGITAL]
+    assert tuned_rates[Category.ARCHITECTURE] >= \
+        base_rates[Category.ARCHITECTURE]
+    assert tuned_rates[Category.ANALOG] == \
+        pytest.approx(base_rates[Category.ANALOG], abs=0.05)

@@ -1,0 +1,52 @@
+"""E1 — Table I: statistics of ChipVQA.
+
+Regenerates every row of Table I (question counts, category counts,
+visual-type counts, prompt-token distribution) from a fresh benchmark
+build and checks them against the paper's published values.
+"""
+
+import pytest
+
+from repro.core.benchmark import build_chipvqa, validate_chipvqa
+from repro.core.question import (
+    CATEGORY_COUNTS,
+    QuestionType,
+    VISUAL_TYPE_COUNTS,
+)
+from repro.core.report import render_table1
+
+# force a cold build inside the timed region
+import repro.core.benchmark as benchmark_module
+
+
+def _cold_build():
+    benchmark_module._STANDARD = None
+    return build_chipvqa()
+
+
+def test_table1_statistics(benchmark):
+    dataset = benchmark(_cold_build)
+    validate_chipvqa(dataset)
+
+    # paper values, verbatim from Table I
+    assert len(dataset) == 142
+    type_counts = dataset.type_counts()
+    assert type_counts[QuestionType.MULTIPLE_CHOICE] == 99
+    assert type_counts[QuestionType.SHORT_ANSWER] == 43
+    for category, expected in CATEGORY_COUNTS.items():
+        assert dataset.category_counts()[category] == expected
+    for visual_type, expected in VISUAL_TYPE_COUNTS.items():
+        assert dataset.visual_counts()[visual_type] == expected
+
+    stats = dataset.token_stats()
+    assert stats.mean == pytest.approx(51.0, abs=3.0)   # paper: 51.00
+    assert stats.minimum == 5                            # paper: 5
+    assert 300 <= stats.maximum <= 400                   # paper: 370
+
+    print()
+    print(render_table1(dataset))
+
+
+def test_token_statistics_speed(benchmark, chipvqa):
+    stats = benchmark(chipvqa.token_stats)
+    assert stats.mean > 0

@@ -1,0 +1,53 @@
+"""E5 — Table III: the agent system versus plain GPT-4o.
+
+Expected shape (paper): with choice 0.44 -> 0.49, no choice 0.20 -> 0.21,
+with a regression in the Manufacturing category because the text-only
+designer never sees pixels.
+"""
+
+import pytest
+
+from repro.agent import ChipDesignerAgent, evaluate_agent, run_table3
+from repro.core.question import Category
+from repro.core.report import render_table3
+from repro.models import NO_CHOICE, WITH_CHOICE
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3()
+
+
+def test_agent_evaluation_speed(benchmark, chipvqa):
+    agent = ChipDesignerAgent()
+    result = benchmark(evaluate_agent, agent, chipvqa, WITH_CHOICE)
+    assert len(result) == 142
+
+
+def test_table3_matches_paper(table3):
+    gpt = table3["gpt4o"]
+    agent = table3["agent"]
+    assert gpt[WITH_CHOICE].pass_at_1() == pytest.approx(0.44, abs=0.01)
+    assert agent[WITH_CHOICE].pass_at_1() == pytest.approx(0.49, abs=0.01)
+    assert gpt[NO_CHOICE].pass_at_1() == pytest.approx(0.20, abs=0.015)
+    assert agent[NO_CHOICE].pass_at_1() == pytest.approx(0.21, abs=0.01)
+
+    print()
+    print(render_table3(gpt, agent))
+
+
+def test_agent_improves_overall_but_regresses_manufacturing(table3):
+    gpt_cats = table3["gpt4o"][WITH_CHOICE].pass_at_1_by_category()
+    agent_cats = table3["agent"][WITH_CHOICE].pass_at_1_by_category()
+    assert table3["agent"][WITH_CHOICE].pass_at_1() > \
+        table3["gpt4o"][WITH_CHOICE].pass_at_1()
+    assert agent_cats[Category.MANUFACTURING] < \
+        gpt_cats[Category.MANUFACTURING]
+
+
+def test_every_agent_answer_used_the_vision_tool(chipvqa):
+    agent = ChipDesignerAgent()
+    plan = agent.plan(list(chipvqa), WITH_CHOICE)
+    for question in list(chipvqa)[:25]:
+        trace = agent.solve(question, plan)
+        assert trace.tool_calls >= 1

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+reproduced rows (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them); assertions pin the *shape* of each result — who wins, by roughly
+what factor, where the crossovers fall.
+"""
+
+import pytest
+
+from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
+from repro.core.harness import EvaluationHarness
+
+
+@pytest.fixture(scope="session")
+def chipvqa():
+    return build_chipvqa()
+
+
+@pytest.fixture(scope="session")
+def chipvqa_challenge():
+    return build_chipvqa_challenge()
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return EvaluationHarness()

@@ -1,0 +1,43 @@
+"""Export browsable contact sheets and question cards for the benchmark.
+
+Writes one contact sheet per discipline (all its figures, thumbnailed and
+labelled) plus full question cards for the paper's five Fig.-3-style
+samples — the quickest way to eyeball the rendered dataset.
+
+Run with::
+
+    python examples/browse_figures.py
+"""
+
+from pathlib import Path
+
+from repro.core.benchmark import build_chipvqa
+from repro.core.question import Category
+from repro.visual.export import contact_sheet, render_question_card, save_pgm
+
+
+def main() -> None:
+    out_dir = Path("examples/output")
+    out_dir.mkdir(exist_ok=True)
+    benchmark = build_chipvqa()
+
+    for category in Category:
+        subset = list(benchmark.by_category(category))
+        sheet = contact_sheet(subset, columns=6, thumb_width=150)
+        name = category.short.lower()
+        path = save_pgm(out_dir / f"sheet_{name}.pgm", sheet)
+        print(f"{category.value:<22} {len(subset):>3} figures "
+              f"-> {path} ({sheet.shape[1]}x{sheet.shape[0]})")
+
+    samples = ["dig-18", "ana-01", "arc-01", "mfg-01", "phy-01"]
+    for qid in samples:
+        question = benchmark.get(qid)
+        card = render_question_card(question)
+        path = save_pgm(out_dir / f"card_{qid}.pgm", card)
+        print(f"question card {qid} -> {path}")
+    print("\nView PGM files with any image viewer "
+          "(e.g. `convert sheet_digital.pgm sheet_digital.png`).")
+
+
+if __name__ == "__main__":
+    main()

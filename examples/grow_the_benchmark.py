@@ -1,0 +1,103 @@
+"""Grow the benchmark — the paper's first future-work item, end to end.
+
+Demonstrates the dataset-collection pipeline on top of the 142-question
+seed: authoring a question *from Verilog source* (the digital substrate
+parses it and computes the gold), screening near-duplicates, running the
+expert-review checklist, and reading the balancing reports that say what
+to author next.
+
+Run with::
+
+    python examples/grow_the_benchmark.py
+"""
+
+from repro.core.benchmark import build_chipvqa
+from repro.core.collection import (
+    CollectionPipeline,
+    balance_report,
+    mc_sa_report,
+)
+from repro.core.question import (
+    AnswerKind,
+    Category,
+    VisualContent,
+    VisualType,
+    make_mc_question,
+)
+from repro.digital.kmap import minimized_expr, sop_text
+from repro.digital.verilog import parse_verilog
+from repro.visual.resolution import infer_legibility_scale
+from repro.visual.schematic import logic_network_scene
+
+AOI_SOURCE = """
+// and-or-invert cell
+module aoi21 (input a, input b, input c, output y);
+  wire ab, s;
+  and g1 (ab, a, b);
+  or  g2 (s, ab, c);
+  not g3 (y, s);
+endmodule
+"""
+
+
+def author_from_verilog() -> "tuple":
+    """Parse Verilog, compute the minimal gold, draw the figure."""
+    module = parse_verilog(AOI_SOURCE)
+    netlist = module.netlist
+    gold_expr = minimized_expr(list(module.inputs), netlist.minterms("y"))
+    gold = sop_text(gold_expr)
+
+    scene = logic_network_scene(
+        [("AND", "G1", ["A", "B"]), ("OR", "G2", ["G1", "C"]),
+         ("NOT", "Y", ["G2"])], "Y")
+    visual = VisualContent(
+        VisualType.SCHEMATIC, "AOI21 cell drawn from its Verilog netlist",
+        render_spec=("scene", scene),
+        legibility_scale=infer_legibility_scale(scene))
+    question = make_mc_question(
+        "dig-new-aoi21", Category.DIGITAL,
+        "The gate network shown implements an AOI21 cell. Which minimal "
+        "sum-of-products expression equals its output Y?",
+        visual,
+        (gold, "AB + C", "(A + B)C'", "A'B' + C'"),
+        0, difficulty=0.5, topics=("logic design", "aoi"),
+        answer_kind=AnswerKind.BOOLEAN_EXPR)
+    return question, gold
+
+
+def main() -> None:
+    seed = build_chipvqa()
+    pipeline = CollectionPipeline(seed_corpus=seed)
+
+    question, gold = author_from_verilog()
+    print(f"authored from Verilog: {question.qid}, gold = {gold!r}")
+    pipeline.submit(question)
+    record = pipeline.review(question.qid, reviewer="senior-designer")
+    print(f"review: {record.status.value}"
+          + (f" — issues: {record.issues}" if record.issues else ""))
+
+    # a sloppy draft: near-duplicate prompt of an existing question
+    duplicate = make_mc_question(
+        "dig-dup", Category.DIGITAL,
+        seed.get("dig-10").prompt + " Explain briefly.",
+        question.visual,
+        ("A' + B'", "A'B'", "(A + B)'", "A + B"), 0,
+        difficulty=0.3, topics=("boolean algebra",))
+    pipeline.submit(duplicate)
+    record = pipeline.review("dig-dup")
+    print(f"duplicate draft: {record.status.value} — {record.issues}")
+
+    print(f"\nacceptance rate so far: {pipeline.acceptance_rate():.0%}")
+    print(f"collection size: {len(pipeline.accepted)}")
+
+    print("\nWhat to author next (to 44 questions per discipline):")
+    for category, needed in balance_report(pipeline.accepted, 44).items():
+        print(f"  {category.value:<22} {needed} more")
+
+    print("\nShort-answer gaps (target 30% SA per discipline):")
+    for category, needed in mc_sa_report(pipeline.accepted, 0.3).items():
+        print(f"  {category.value:<22} {needed} more SA questions")
+
+
+if __name__ == "__main__":
+    main()

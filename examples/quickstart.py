@@ -1,0 +1,42 @@
+"""Quickstart: build ChipVQA and evaluate one model end to end.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EvaluationHarness, build_chipvqa, build_model
+from repro.core.report import CATEGORY_ORDER
+
+
+def main() -> None:
+    # 1. Build the 142-question benchmark (validated against Table I).
+    benchmark = build_chipvqa()
+    print(f"ChipVQA: {len(benchmark)} questions, "
+          f"{benchmark.visual_component_total()} visual components")
+
+    # 2. Pick a model from the zoo (the twelve VLMs of Table II).
+    model = build_model("gpt-4o")
+    print(f"Evaluating {model.name} "
+          f"(backbone: {model.backbone.name}, "
+          f"encoder: {model.encoder.input_resolution}px)")
+
+    # 3. Zero-shot evaluation with the hybrid judge.
+    harness = EvaluationHarness()
+    result = harness.zero_shot_standard(model)
+
+    # 4. Report pass@1, the paper's metric.
+    print(f"\npass@1 (with choices): {result.pass_at_1():.2f}")
+    for category in CATEGORY_ORDER:
+        rate = result.pass_at_1_by_category()[category]
+        correct, total = result.category_counts()[category]
+        print(f"  {category.value:<22} {rate:.2f}  ({correct}/{total})")
+
+    # 5. The challenge collection: options removed.
+    challenge = harness.zero_shot_challenge(model)
+    print(f"\npass@1 (challenge, no choices): {challenge.pass_at_1():.2f}")
+    print("Expected from Table II: 0.44 with choices, 0.20 without.")
+
+
+if __name__ == "__main__":
+    main()

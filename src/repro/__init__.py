@@ -1,0 +1,58 @@
+"""ChipVQA reproduction: a VQA benchmark and evaluation harness for chip
+design (Yang et al., DATE 2025).
+
+Quickstart::
+
+    from repro import build_chipvqa, EvaluationHarness, build_model
+
+    benchmark = build_chipvqa()              # the 142-question collection
+    harness = EvaluationHarness()
+    result = harness.zero_shot_standard(build_model("gpt-4o"))
+    print(result.pass_at_1())                # ~0.44, as in Table II
+
+Subpackages:
+
+* :mod:`repro.core` — question schema, dataset, harness, metrics, reports
+* :mod:`repro.digital` / :mod:`repro.analog` / :mod:`repro.arch` /
+  :mod:`repro.physical` / :mod:`repro.manufacturing` — the five discipline
+  substrates (real solvers) and their question generators
+* :mod:`repro.visual` — declarative figure rendering to numpy rasters
+* :mod:`repro.models` — the simulated VLM pipeline and Table II zoo
+* :mod:`repro.judge` — hybrid auto/manual answer-equivalence judging
+* :mod:`repro.agent` — the designer + vision-tool agent system (Table III)
+"""
+
+from repro.core import (
+    Category,
+    Dataset,
+    EvalResult,
+    EvaluationHarness,
+    Question,
+    QuestionType,
+    VisualType,
+    build_chipvqa,
+    build_chipvqa_challenge,
+    run_table2,
+    validate_chipvqa,
+)
+from repro.models import build_model, build_zoo, model_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Category",
+    "Dataset",
+    "EvalResult",
+    "EvaluationHarness",
+    "Question",
+    "QuestionType",
+    "VisualType",
+    "build_chipvqa",
+    "build_chipvqa_challenge",
+    "build_model",
+    "build_zoo",
+    "model_names",
+    "run_table2",
+    "validate_chipvqa",
+    "__version__",
+]

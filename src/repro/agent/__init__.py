@@ -1,0 +1,25 @@
+"""Agent substrate: the text-only chip-designer + vision-tool system."""
+
+from repro.agent.designer import (
+    AGENT_RATES_NO_CHOICE,
+    AGENT_RATES_WITH_CHOICE,
+    AgentTrace,
+    ChipDesignerAgent,
+)
+from repro.agent.messages import Conversation, Message, Role
+from repro.agent.system import evaluate_agent, run_table3
+from repro.agent.tools import DESCRIPTION_FIDELITY, VisionTool
+
+__all__ = [
+    "AGENT_RATES_NO_CHOICE",
+    "AGENT_RATES_WITH_CHOICE",
+    "AgentTrace",
+    "ChipDesignerAgent",
+    "Conversation",
+    "DESCRIPTION_FIDELITY",
+    "Message",
+    "Role",
+    "VisionTool",
+    "evaluate_agent",
+    "run_table3",
+]

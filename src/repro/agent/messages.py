@@ -1,0 +1,60 @@
+"""Chat message structures for the agent system's conversation loop."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Role(enum.Enum):
+    """Speaker roles in the agent conversation."""
+
+    SYSTEM = "system"
+    USER = "user"
+    ASSISTANT = "assistant"
+    TOOL = "tool"
+
+
+@dataclass(frozen=True)
+class Message:
+    role: Role
+    content: str
+    tool_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.role is Role.TOOL and not self.tool_name:
+            raise ValueError("tool messages must name their tool")
+
+
+@dataclass
+class Conversation:
+    """An append-only message transcript."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    def add(self, role: Role, content: str,
+            tool_name: Optional[str] = None) -> Message:
+        message = Message(role, content, tool_name)
+        self.messages.append(message)
+        return message
+
+    def last(self) -> Message:
+        if not self.messages:
+            raise IndexError("empty conversation")
+        return self.messages[-1]
+
+    def tool_calls(self) -> List[Message]:
+        return [m for m in self.messages if m.role is Role.TOOL]
+
+    def turns(self) -> int:
+        return sum(1 for m in self.messages if m.role is Role.ASSISTANT)
+
+    def render(self) -> str:
+        lines = []
+        for message in self.messages:
+            prefix = message.role.value.upper()
+            if message.tool_name:
+                prefix += f"({message.tool_name})"
+            lines.append(f"[{prefix}] {message.content}")
+        return "\n".join(lines)

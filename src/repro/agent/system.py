@@ -1,0 +1,58 @@
+"""Table III driver: evaluate GPT-4o against the agent system."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.agent.designer import ChipDesignerAgent
+from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
+from repro.core.dataset import Dataset
+from repro.core.metrics import EvalRecord, EvalResult
+from repro.judge.llm_judge import HybridJudge
+from repro.models.vlm import NO_CHOICE, WITH_CHOICE
+from repro.models.zoo import build_model
+
+
+def evaluate_agent(agent: ChipDesignerAgent, dataset: Dataset,
+                   setting: str,
+                   judge: Optional[HybridJudge] = None) -> EvalResult:
+    """Judge the agent over a dataset (mirrors the VLM harness path)."""
+    judge = judge or HybridJudge()
+    questions = list(dataset)
+    answers = agent.answer_all(questions, setting)
+    result = EvalResult(model_name=agent.name, dataset_name=dataset.name,
+                        setting=setting)
+    for question, answer in zip(questions, answers):
+        verdict = judge.judge(question, answer.text)
+        result.add(EvalRecord(
+            qid=question.qid,
+            category=question.category,
+            response=answer.text,
+            correct=verdict.correct,
+            judge_method=verdict.method,
+            perception=answer.perception,
+        ))
+    return result
+
+
+def run_table3(judge: Optional[HybridJudge] = None
+               ) -> Dict[str, Dict[str, EvalResult]]:
+    """Reproduce Table III: {model: {"with_choice": ..., "no_choice": ...}}."""
+    from repro.core.harness import EvaluationHarness
+
+    judge = judge or HybridJudge()
+    harness = EvaluationHarness(judge=judge)
+    gpt4o = build_model("gpt-4o")
+    agent = ChipDesignerAgent()
+    return {
+        "gpt4o": {
+            WITH_CHOICE: harness.zero_shot_standard(gpt4o),
+            NO_CHOICE: harness.zero_shot_challenge(gpt4o),
+        },
+        "agent": {
+            WITH_CHOICE: evaluate_agent(agent, build_chipvqa(), WITH_CHOICE,
+                                        judge),
+            NO_CHOICE: evaluate_agent(agent, build_chipvqa_challenge(),
+                                      NO_CHOICE, judge),
+        },
+    }

@@ -1,0 +1,62 @@
+"""The agent's vision tool: a VLM used as an image-description service.
+
+In the paper's setup GPT-4o acts as a tool that "parses and provides
+visual information content" to a text-only designer.  The crucial property
+the paper observes — manufacturing questions regress because the designer
+never sees pixels — comes from description *lossiness*: a text description
+preserves topological/structural facts well but quantitative geometry
+(cross-section dimensions, mask measurements) poorly.  The tool models
+that with a per-visual-type fidelity table grounded in the figure types of
+Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.question import Question, VisualContent, VisualType
+
+#: How faithfully a prose description carries each figure type's
+#: task-relevant content.  Structural/graph-like figures describe well;
+#: dimension-laden process figures describe poorly (the paper's observed
+#: manufacturing regression).
+DESCRIPTION_FIDELITY: Dict[VisualType, float] = {
+    VisualType.DIAGRAM: 0.95,
+    VisualType.FLOW: 0.95,
+    VisualType.TABLE: 0.90,
+    VisualType.SCHEMATIC: 0.85,
+    VisualType.EQUATION: 0.90,
+    VisualType.EQUATIONS: 0.90,
+    VisualType.NEURAL_NETS: 0.90,
+    VisualType.CURVE: 0.80,
+    VisualType.MIXED: 0.80,
+    VisualType.FIGURE: 0.70,
+    VisualType.LAYOUT: 0.65,
+    VisualType.STRUCTURE: 0.55,
+}
+
+
+@dataclass
+class VisionTool:
+    """Wraps a VLM as a describe-the-image tool."""
+
+    name: str = "describe_image"
+    backend_model: str = "gpt-4o"
+
+    def describe(self, visual: VisualContent) -> str:
+        """A prose description of one visual, as the tool would return."""
+        return (f"The image is a {visual.visual_type.value} "
+                f"({visual.width}x{visual.height}px): {visual.description}.")
+
+    def describe_question(self, question: Question) -> str:
+        parts = [self.describe(v) for v in question.all_visuals]
+        return "\n".join(parts)
+
+    def fidelity(self, question: Question) -> float:
+        """Mean description fidelity over the question's visuals."""
+        scores = [
+            DESCRIPTION_FIDELITY.get(v.visual_type, 0.8)
+            for v in question.all_visuals
+        ]
+        return sum(scores) / len(scores)

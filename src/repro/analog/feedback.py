@@ -1,0 +1,119 @@
+"""Negative-feedback analysis: topologies, loop gain, closed-loop effects.
+
+Implements the four classic feedback topologies and their impedance
+transformations, ideal/non-ideal op-amp closed-loop gains, and loop-gain /
+desensitisation arithmetic used by the Analog questions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class Topology(enum.Enum):
+    """Feedback topologies named (sampling)-(mixing)."""
+
+    SERIES_SHUNT = "series-shunt"    # voltage amp: Zin up, Zout down
+    SHUNT_SERIES = "shunt-series"    # current amp: Zin down, Zout up
+    SERIES_SERIES = "series-series"  # transconductance: both up
+    SHUNT_SHUNT = "shunt-shunt"      # transresistance: both down
+
+
+@dataclass(frozen=True)
+class LoopAnalysis:
+    """Closed-loop quantities of a single-loop negative-feedback system."""
+
+    open_loop_gain: float
+    feedback_factor: float
+
+    @property
+    def loop_gain(self) -> float:
+        return self.open_loop_gain * self.feedback_factor
+
+    @property
+    def closed_loop_gain(self) -> float:
+        return self.open_loop_gain / (1.0 + self.loop_gain)
+
+    @property
+    def ideal_gain(self) -> float:
+        if self.feedback_factor == 0:
+            raise ValueError("no feedback")
+        return 1.0 / self.feedback_factor
+
+    @property
+    def desensitivity(self) -> float:
+        """1 + T: the factor by which gain sensitivity is reduced."""
+        return 1.0 + self.loop_gain
+
+    def gain_error_percent(self) -> float:
+        """Relative deviation of the closed-loop gain from 1/beta."""
+        return abs(self.closed_loop_gain - self.ideal_gain) \
+            / self.ideal_gain * 100.0
+
+    def input_impedance(self, z_open: float, topology: Topology) -> float:
+        if topology in (Topology.SERIES_SHUNT, Topology.SERIES_SERIES):
+            return z_open * self.desensitivity
+        return z_open / self.desensitivity
+
+    def output_impedance(self, z_open: float, topology: Topology) -> float:
+        if topology in (Topology.SERIES_SHUNT, Topology.SHUNT_SHUNT):
+            return z_open / self.desensitivity
+        return z_open * self.desensitivity
+
+    def bandwidth_extension(self, open_loop_bw: float) -> float:
+        """Closed-loop bandwidth of a single-pole amplifier: BW (1 + T)."""
+        return open_loop_bw * self.desensitivity
+
+
+# -- op-amp closed-loop gains -------------------------------------------------------
+
+def inverting_gain(r_in: float, r_f: float,
+                   open_loop: float = float("inf")) -> float:
+    """Inverting amplifier gain -Rf/Rin (finite-gain corrected if given)."""
+    if r_in <= 0 or r_f <= 0:
+        raise ValueError("resistances must be positive")
+    ideal = -r_f / r_in
+    if math.isinf(open_loop):
+        return ideal
+    beta = r_in / (r_in + r_f)
+    return ideal * (1.0 / (1.0 + 1.0 / (open_loop * beta)))
+
+
+def noninverting_gain(r_ground: float, r_f: float,
+                      open_loop: float = float("inf")) -> float:
+    """Non-inverting gain 1 + Rf/Rg (finite-gain corrected if given)."""
+    if r_ground <= 0 or r_f <= 0:
+        raise ValueError("resistances must be positive")
+    ideal = 1.0 + r_f / r_ground
+    if math.isinf(open_loop):
+        return ideal
+    beta = 1.0 / ideal
+    return ideal * (1.0 / (1.0 + 1.0 / (open_loop * beta)))
+
+
+def instrumentation_amp_gain(r_gain: float, r1: float, r2: float,
+                             r3: float) -> float:
+    """Classic 3-op-amp in-amp: (1 + 2 R1 / Rg) * (R3 / R2)."""
+    if min(r_gain, r1, r2, r3) <= 0:
+        raise ValueError("resistances must be positive")
+    return (1.0 + 2.0 * r1 / r_gain) * (r3 / r2)
+
+
+def summing_amp_output(inputs, r_f: float) -> float:
+    """Inverting summer: vout = -Rf * sum(v_i / R_i)."""
+    total = 0.0
+    for v_i, r_i in inputs:
+        if r_i <= 0:
+            raise ValueError("resistances must be positive")
+        total += v_i / r_i
+    return -r_f * total
+
+
+def relaxation_oscillator_period(r: float, c: float, beta: float) -> float:
+    """Period of a comparator-based RC relaxation oscillator:
+    T = 2 R C ln((1 + beta) / (1 - beta))."""
+    if not 0 < beta < 1:
+        raise ValueError("beta must be in (0, 1)")
+    return 2.0 * r * c * math.log((1.0 + beta) / (1.0 - beta))

@@ -1,0 +1,99 @@
+"""Circuit noise analysis: thermal / flicker sources and input-referred
+noise of single stages — the remaining analog-exam staple.
+
+All spectral densities are one-sided, in V^2/Hz or A^2/Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+BOLTZMANN = 1.380649e-23  # J/K
+ROOM_TEMPERATURE_K = 300.0
+MOS_THERMAL_GAMMA = 2.0 / 3.0  # long-channel excess-noise factor
+
+
+def resistor_thermal_vsd(r_ohms: float,
+                         temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Thermal voltage noise density of a resistor: 4kTR (V^2/Hz)."""
+    if r_ohms <= 0 or temperature_k <= 0:
+        raise ValueError("resistance and temperature must be positive")
+    return 4.0 * BOLTZMANN * temperature_k * r_ohms
+
+
+def resistor_thermal_vrms(r_ohms: float, bandwidth_hz: float,
+                          temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Integrated RMS noise voltage over a brick-wall bandwidth."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return math.sqrt(resistor_thermal_vsd(r_ohms, temperature_k)
+                     * bandwidth_hz)
+
+
+def mos_thermal_isd(gm: float, gamma: float = MOS_THERMAL_GAMMA,
+                    temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """MOS channel thermal current noise: 4kT * gamma * gm (A^2/Hz)."""
+    if gm <= 0 or gamma <= 0:
+        raise ValueError("gm and gamma must be positive")
+    return 4.0 * BOLTZMANN * temperature_k * gamma * gm
+
+
+def mos_flicker_vsd(kf_v2: float, frequency_hz: float) -> float:
+    """Gate-referred flicker noise: K / f (V^2/Hz), K folds in Cox W L."""
+    if kf_v2 <= 0 or frequency_hz <= 0:
+        raise ValueError("K and frequency must be positive")
+    return kf_v2 / frequency_hz
+
+
+def flicker_corner_hz(kf_v2: float, gm: float,
+                      gamma: float = MOS_THERMAL_GAMMA,
+                      temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Frequency where flicker equals thermal (gate-referred)."""
+    thermal_vsd = mos_thermal_isd(gm, gamma, temperature_k) / (gm * gm)
+    return kf_v2 / thermal_vsd
+
+
+def cs_input_referred_vsd(gm: float, r_load: float,
+                          gamma: float = MOS_THERMAL_GAMMA,
+                          temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Input-referred thermal noise of a common-source stage.
+
+    v_n,in^2 = 4kT (gamma/gm + 1/(gm^2 R_D)) — the device channel noise
+    plus the load resistor's noise divided by the stage gain squared.
+    """
+    if gm <= 0 or r_load <= 0:
+        raise ValueError("gm and load must be positive")
+    device = mos_thermal_isd(gm, gamma, temperature_k) / (gm * gm)
+    load = resistor_thermal_vsd(r_load, temperature_k) / (gm * r_load) ** 2
+    return device + load
+
+
+def cascaded_input_noise(vsd_stage1: float, vsd_stage2: float,
+                         gain1: float) -> float:
+    """Friis for voltage noise: stage-2 noise divided by gain-1 squared."""
+    if gain1 == 0:
+        raise ValueError("first-stage gain must be non-zero")
+    return vsd_stage1 + vsd_stage2 / (gain1 * gain1)
+
+
+def snr_db(signal_vrms: float, noise_vrms: float) -> float:
+    """SNR in dB from RMS signal and noise voltages."""
+    if signal_vrms <= 0 or noise_vrms <= 0:
+        raise ValueError("voltages must be positive")
+    return 20.0 * math.log10(signal_vrms / noise_vrms)
+
+
+def kt_over_c_vrms(c_farads: float,
+                   temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Sampled (kT/C) noise of a switch-capacitor: sqrt(kT/C) volts RMS."""
+    if c_farads <= 0 or temperature_k <= 0:
+        raise ValueError("capacitance and temperature must be positive")
+    return math.sqrt(BOLTZMANN * temperature_k / c_farads)
+
+
+def noise_figure_db(added_noise_vsd: float, source_vsd: float) -> float:
+    """NF = 10 log10(1 + added / source)."""
+    if source_vsd <= 0 or added_noise_vsd < 0:
+        raise ValueError("bad spectral densities")
+    return 10.0 * math.log10(1.0 + added_noise_vsd / source_vsd)

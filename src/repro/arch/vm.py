@@ -1,0 +1,166 @@
+"""Virtual memory: multi-level page-table walks and a TLB model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class VmGeometry:
+    """Address-space parameters of a paged machine."""
+
+    virtual_bits: int
+    physical_bits: int
+    page_bytes: int
+    levels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        if self.levels < 1:
+            raise ValueError("need at least one level")
+        if self.vpn_bits % self.levels:
+            raise ValueError("VPN bits must divide evenly across levels")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.page_bytes.bit_length() - 1
+
+    @property
+    def vpn_bits(self) -> int:
+        return self.virtual_bits - self.offset_bits
+
+    @property
+    def ppn_bits(self) -> int:
+        return self.physical_bits - self.offset_bits
+
+    @property
+    def bits_per_level(self) -> int:
+        return self.vpn_bits // self.levels
+
+    @property
+    def entries_per_table(self) -> int:
+        return 1 << self.bits_per_level
+
+    def pte_bytes(self, metadata_bits: int = 0) -> int:
+        """Bytes per page-table entry, rounded up to a power of two."""
+        bits = self.ppn_bits + metadata_bits
+        size = 1
+        while size * 8 < bits:
+            size *= 2
+        return size
+
+    def split_vpn(self, vaddr: int) -> List[int]:
+        """Per-level VPN fields, outermost first."""
+        vpn = vaddr >> self.offset_bits
+        fields: List[int] = []
+        for level in range(self.levels):
+            shift = self.bits_per_level * (self.levels - 1 - level)
+            fields.append((vpn >> shift) & (self.entries_per_table - 1))
+        return fields
+
+    def offset(self, vaddr: int) -> int:
+        return vaddr & (self.page_bytes - 1)
+
+
+class PageTable:
+    """A radix page table mapping VPN -> PPN, walked level by level."""
+
+    def __init__(self, geometry: VmGeometry):
+        self.geometry = geometry
+        self._map: Dict[int, int] = {}
+
+    def map(self, vaddr: int, paddr: int) -> None:
+        """Install a mapping for the pages containing the addresses."""
+        vpn = vaddr >> self.geometry.offset_bits
+        ppn = paddr >> self.geometry.offset_bits
+        self._map[vpn] = ppn
+
+    def translate(self, vaddr: int) -> int:
+        """Translate or raise ``KeyError`` (page fault)."""
+        vpn = vaddr >> self.geometry.offset_bits
+        if vpn not in self._map:
+            raise KeyError(f"page fault at {vaddr:#x}")
+        return (self._map[vpn] << self.geometry.offset_bits) \
+            | self.geometry.offset(vaddr)
+
+    def walk_accesses(self) -> int:
+        """Memory accesses per walk: one per level."""
+        return self.geometry.levels
+
+
+class Tlb:
+    """Fully associative LRU TLB."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError("need at least one entry")
+        self.entries = entries
+        self._lines: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        if vpn in self._lines:
+            self.hits += 1
+            self._lines.move_to_end(vpn)
+            return self._lines[vpn]
+        self.misses += 1
+        return None
+
+    def fill(self, vpn: int, ppn: int) -> None:
+        if len(self._lines) >= self.entries and vpn not in self._lines:
+            self._lines.popitem(last=False)
+        self._lines[vpn] = ppn
+        self._lines.move_to_end(vpn)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if not total:
+            raise ValueError("no lookups yet")
+        return self.hits / total
+
+
+class Mmu:
+    """TLB + page table front end returning access latencies."""
+
+    def __init__(self, table: PageTable, tlb: Tlb,
+                 tlb_time: float = 1.0, memory_time: float = 100.0):
+        self.table = table
+        self.tlb = tlb
+        self.tlb_time = tlb_time
+        self.memory_time = memory_time
+
+    def access(self, vaddr: int) -> Tuple[int, float]:
+        """(physical address, latency) of one access; walks on TLB miss."""
+        geometry = self.table.geometry
+        vpn = vaddr >> geometry.offset_bits
+        ppn = self.tlb.lookup(vpn)
+        latency = self.tlb_time
+        if ppn is None:
+            paddr = self.table.translate(vaddr)  # may raise (fault)
+            latency += geometry.levels * self.memory_time
+            self.tlb.fill(vpn, paddr >> geometry.offset_bits)
+        else:
+            paddr = (ppn << geometry.offset_bits) | geometry.offset(vaddr)
+        return paddr, latency + self.memory_time  # final data access
+
+
+def page_table_size_bytes(geometry: VmGeometry,
+                          metadata_bits: int = 0) -> int:
+    """Size of one flat (single-level) page table covering the space."""
+    entries = 1 << geometry.vpn_bits
+    return entries * geometry.pte_bytes(metadata_bits)
+
+
+def effective_access_time(tlb_hit_rate: float, tlb_time: float,
+                          memory_time: float, levels: int = 1) -> float:
+    """EAT = hit: tlb + mem; miss: tlb + levels*mem (walk) + mem."""
+    if not 0 <= tlb_hit_rate <= 1:
+        raise ValueError("hit rate must be a probability")
+    hit_cost = tlb_time + memory_time
+    miss_cost = tlb_time + levels * memory_time + memory_time
+    return tlb_hit_rate * hit_cost + (1 - tlb_hit_rate) * miss_cost

@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands mirror the paper's experiments plus the repository's extensions:
+
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables
+* ``resolution`` — the Section IV-B downsampling study
+* ``composition`` — the Fig. 1 composition summary
+* ``evaluate`` — one model, either collection, any resolution factor
+* ``compare`` — paired significance test between two models
+* ``list-models`` — the zoo with metadata
+* ``export-figures`` — write question figures as PGM images
+* ``export-dataset`` — dump the benchmark as JSONL
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
+from repro.core.harness import EvaluationHarness, run_table2
+from repro.core.question import Category
+from repro.core.report import (
+    CATEGORY_ORDER,
+    render_composition,
+    render_resolution_study,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.core.significance import compare as significance_compare
+from repro.models import NO_CHOICE, WITH_CHOICE, build_model, build_zoo
+from repro.models.zoo import TABLE2_ROW_ORDER, _ZOO_SPECS
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1(build_chipvqa()))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    if args.models:
+        models = [build_model(name) for name in args.models]
+    else:
+        models = build_zoo()
+    results = run_table2(models, harness)
+    print(render_table2(results, dict(TABLE2_ROW_ORDER)))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.agent import run_table3
+
+    results = run_table3()
+    print(render_table3(results["gpt4o"], results["agent"]))
+    return 0
+
+
+def _cmd_resolution(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    category = _category_by_short(args.category)
+    study = harness.resolution_study(
+        build_model(args.model), category=category,
+        factors=tuple(args.factors))
+    print(render_resolution_study(study, category))
+    return 0
+
+
+def _cmd_composition(args: argparse.Namespace) -> int:
+    print(render_composition(build_chipvqa()))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    model = build_model(args.model)
+    if args.challenge:
+        dataset = build_chipvqa_challenge()
+        setting = NO_CHOICE
+    else:
+        dataset = build_chipvqa()
+        setting = WITH_CHOICE
+    result = harness.evaluate(model, dataset, setting,
+                              resolution_factor=args.resolution)
+    print(f"model:    {model.name}")
+    print(f"dataset:  {dataset.name} ({len(dataset)} questions)")
+    print(f"setting:  {setting}  resolution: {args.resolution}x")
+    print(f"pass@1:   {result.pass_at_1():.3f}")
+    for category in CATEGORY_ORDER:
+        correct, total = result.category_counts()[category]
+        print(f"  {category.value:<22} {correct / total:.2f}  "
+              f"({correct}/{total})")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness()
+    run = (harness.zero_shot_challenge if args.challenge
+           else harness.zero_shot_standard)
+    result_a = run(build_model(args.model_a))
+    result_b = run(build_model(args.model_b))
+    comparison = significance_compare(result_a, result_b)
+    print(comparison.summary())
+    print(f"  both correct: {comparison.both_correct}   "
+          f"both wrong: {comparison.both_wrong}")
+    print(f"  only {args.model_a}: {comparison.only_a}   "
+          f"only {args.model_b}: {comparison.only_b}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    dataset = build_chipvqa()
+    try:
+        question = dataset.get(args.qid)
+    except KeyError:
+        raise SystemExit(f"unknown question id {args.qid!r}")
+    print(f"qid:        {question.qid}")
+    print(f"category:   {question.category.value}")
+    print(f"type:       {question.question_type.value}")
+    print(f"difficulty: {question.difficulty}")
+    print(f"topics:     {', '.join(question.topics)}")
+    print(f"visuals:    " + ", ".join(
+        v.visual_type.value for v in question.all_visuals))
+    print(f"\nprompt:\n{question.prompt}")
+    if question.is_multiple_choice:
+        print()
+        for letter, choice in zip("ABCD", question.choices):
+            marker = "*" if letter == question.gold_letter else " "
+            print(f" {marker} {letter}) {choice}")
+    else:
+        print(f"\ngold: {question.gold_text}")
+    print(f"\nworked solution:\n{question.explanation}")
+    if args.figure:
+        from repro.visual import render
+        from repro.visual.export import save_pgm
+
+        path = save_pgm(args.figure, render(question.visual))
+        print(f"\nfigure -> {path}")
+    return 0
+
+
+def _cmd_list_models(args: argparse.Namespace) -> int:
+    print(f"{'name':<16}{'backbone':<16}{'params':<9}{'res':<6}"
+          f"{'sysprompt':<10}")
+    for name, _label in TABLE2_ROW_ORDER:
+        backbone, params, _ability, res, sysprompt = _ZOO_SPECS[name][:5]
+        print(f"{name:<16}{backbone:<16}{params:<9.1f}{res:<6}"
+              f"{'yes' if sysprompt else 'no':<10}")
+    return 0
+
+
+def _cmd_export_figures(args: argparse.Namespace) -> int:
+    from repro.visual.export import export_dataset_figures
+
+    written = export_dataset_figures(build_chipvqa(), args.out,
+                                     limit=args.limit)
+    print(f"wrote {len(written)} figures to {args.out}")
+    return 0
+
+
+def _cmd_export_dataset(args: argparse.Namespace) -> int:
+    dataset = (build_chipvqa_challenge() if args.challenge
+               else build_chipvqa())
+    dataset.save(args.out)
+    print(f"wrote {len(dataset)} questions to {args.out}")
+    return 0
+
+
+def _category_by_short(short: str) -> Category:
+    for category in Category:
+        if category.short.lower() == short.lower():
+            return category
+    raise SystemExit(f"unknown category {short!r}; choose from "
+                     f"{[c.short for c in Category]}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ChipVQA reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I statistics") \
+        .set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="Table II zero-shot sweep")
+    p2.add_argument("--models", nargs="*",
+                    help="subset of zoo names (default: all twelve)")
+    p2.set_defaults(func=_cmd_table2)
+
+    sub.add_parser("table3", help="Table III agent comparison") \
+        .set_defaults(func=_cmd_table3)
+
+    pr = sub.add_parser("resolution", help="Section IV-B study")
+    pr.add_argument("--model", default="gpt-4o")
+    pr.add_argument("--category", default="Digital")
+    pr.add_argument("--factors", nargs="*", type=int, default=[1, 8, 16])
+    pr.set_defaults(func=_cmd_resolution)
+
+    sub.add_parser("composition", help="Fig. 1 composition summary") \
+        .set_defaults(func=_cmd_composition)
+
+    pe = sub.add_parser("evaluate", help="evaluate one model")
+    pe.add_argument("--model", default="gpt-4o")
+    pe.add_argument("--challenge", action="store_true",
+                    help="use the no-choice challenge collection")
+    pe.add_argument("--resolution", type=int, default=1)
+    pe.set_defaults(func=_cmd_evaluate)
+
+    pc = sub.add_parser("compare", help="paired significance test")
+    pc.add_argument("model_a")
+    pc.add_argument("model_b")
+    pc.add_argument("--challenge", action="store_true")
+    pc.set_defaults(func=_cmd_compare)
+
+    ps = sub.add_parser("show", help="inspect one benchmark question")
+    ps.add_argument("qid")
+    ps.add_argument("--figure", default=None,
+                    help="also write the figure to this PGM path")
+    ps.set_defaults(func=_cmd_show)
+
+    sub.add_parser("list-models", help="show the model zoo") \
+        .set_defaults(func=_cmd_list_models)
+
+    pf = sub.add_parser("export-figures", help="write figures as PGM")
+    pf.add_argument("--out", default="figures")
+    pf.add_argument("--limit", type=int, default=None)
+    pf.set_defaults(func=_cmd_export_figures)
+
+    pd = sub.add_parser("export-dataset", help="dump benchmark JSONL")
+    pd.add_argument("--out", default="chipvqa.jsonl")
+    pd.add_argument("--challenge", action="store_true")
+    pd.set_defaults(func=_cmd_export_dataset)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Core: question schema, dataset, benchmark assembly, harness, metrics."""
+
+from repro.core import collection, fewshot, significance
+from repro.core.benchmark import (
+    BenchmarkIntegrityError,
+    build_chipvqa,
+    build_chipvqa_challenge,
+    validate_chipvqa,
+)
+from repro.core.dataset import Dataset, TokenStats
+from repro.core.harness import EvaluationHarness, run_table2
+from repro.core.metrics import EvalRecord, EvalResult, bootstrap_ci
+from repro.core.question import (
+    AnswerKind,
+    AnswerSpec,
+    Category,
+    Question,
+    QuestionType,
+    VisualContent,
+    VisualType,
+)
+from repro.core.transforms import to_short_answer, with_resolution_factor
+
+__all__ = [
+    "AnswerKind",
+    "collection",
+    "fewshot",
+    "significance",
+    "AnswerSpec",
+    "BenchmarkIntegrityError",
+    "Category",
+    "Dataset",
+    "EvalRecord",
+    "EvalResult",
+    "EvaluationHarness",
+    "Question",
+    "QuestionType",
+    "TokenStats",
+    "VisualContent",
+    "VisualType",
+    "bootstrap_ci",
+    "build_chipvqa",
+    "build_chipvqa_challenge",
+    "run_table2",
+    "to_short_answer",
+    "validate_chipvqa",
+    "with_resolution_factor",
+]

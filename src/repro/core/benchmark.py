@@ -1,0 +1,109 @@
+"""ChipVQA benchmark assembly and structural validation.
+
+:func:`build_chipvqa` gathers the five per-discipline generators into the
+142-question standard collection and validates every Table I constraint
+(category counts, MC/SA split, visual-type counts).  The "challenge
+collection" — all multiple-choice questions replaced by short-answer ones —
+is produced by :func:`build_chipvqa_challenge` via
+:mod:`repro.core.transforms`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dataset import Dataset
+from repro.core.question import (
+    CATEGORY_COUNTS,
+    CATEGORY_MC_COUNTS,
+    Category,
+    Question,
+    QuestionType,
+    TOTAL_MULTIPLE_CHOICE,
+    TOTAL_QUESTIONS,
+    TOTAL_SHORT_ANSWER,
+    VISUAL_TYPE_COUNTS,
+)
+
+
+def _all_questions() -> List[Question]:
+    # imports are local so `repro.core` stays importable without the
+    # discipline packages (and to avoid import cycles at package init).
+    from repro.analog import generate_analog_questions
+    from repro.arch import generate_architecture_questions
+    from repro.digital import generate_digital_questions
+    from repro.manufacturing import generate_manufacturing_questions
+    from repro.physical import generate_physical_questions
+
+    questions: List[Question] = []
+    questions += generate_digital_questions()
+    questions += generate_analog_questions()
+    questions += generate_architecture_questions()
+    questions += generate_manufacturing_questions()
+    questions += generate_physical_questions()
+    return questions
+
+
+class BenchmarkIntegrityError(AssertionError):
+    """The assembled benchmark violates a Table I constraint."""
+
+
+def validate_chipvqa(dataset: Dataset) -> None:
+    """Check every structural constraint Table I reports; raise on drift."""
+    if len(dataset) != TOTAL_QUESTIONS:
+        raise BenchmarkIntegrityError(
+            f"expected {TOTAL_QUESTIONS} questions, got {len(dataset)}")
+    type_counts = dataset.type_counts()
+    if type_counts[QuestionType.MULTIPLE_CHOICE] != TOTAL_MULTIPLE_CHOICE:
+        raise BenchmarkIntegrityError(
+            f"expected {TOTAL_MULTIPLE_CHOICE} MC questions, got "
+            f"{type_counts[QuestionType.MULTIPLE_CHOICE]}")
+    if type_counts[QuestionType.SHORT_ANSWER] != TOTAL_SHORT_ANSWER:
+        raise BenchmarkIntegrityError(
+            f"expected {TOTAL_SHORT_ANSWER} SA questions, got "
+            f"{type_counts[QuestionType.SHORT_ANSWER]}")
+    for category, expected in CATEGORY_COUNTS.items():
+        actual = dataset.category_counts()[category]
+        if actual != expected:
+            raise BenchmarkIntegrityError(
+                f"{category.short}: expected {expected} questions, got "
+                f"{actual}")
+    for category, expected in CATEGORY_MC_COUNTS.items():
+        actual = dataset.mc_counts_by_category()[category]
+        if actual != expected:
+            raise BenchmarkIntegrityError(
+                f"{category.short}: expected {expected} MC questions, got "
+                f"{actual}")
+    visual_counts = dataset.visual_counts()
+    for visual_type, expected in VISUAL_TYPE_COUNTS.items():
+        actual = visual_counts.get(visual_type, 0)
+        if actual != expected:
+            raise BenchmarkIntegrityError(
+                f"visual {visual_type.value!r}: expected {expected}, got "
+                f"{actual}")
+
+
+_STANDARD: "Dataset | None" = None
+
+
+def build_chipvqa(validate: bool = True) -> Dataset:
+    """The 142-question ChipVQA standard collection (cached)."""
+    global _STANDARD
+    if _STANDARD is None:
+        dataset = Dataset(_all_questions(), name="chipvqa")
+        if validate:
+            validate_chipvqa(dataset)
+        _STANDARD = dataset
+    return _STANDARD
+
+
+def build_chipvqa_challenge() -> Dataset:
+    """The challenge collection: every MC question recast as short-answer.
+
+    Prompts are unchanged; the answer options are simply removed, exactly
+    as Section IV-A of the paper describes.
+    """
+    from repro.core.transforms import to_short_answer
+
+    standard = build_chipvqa()
+    return standard.map(to_short_answer, name="chipvqa-challenge")

@@ -1,0 +1,200 @@
+"""Dataset-collection pipeline — the paper's first item of future work.
+
+Section V: "Future works include ChipVQA-oriented dataset collection".
+This module models the paper's own curation process (Section III-A2:
+drafts from source material, expert review, ~200 human-hours) as an
+explicit workflow:
+
+* a :class:`GeneratorRegistry` of question generators per discipline,
+* near-duplicate screening (token-shingle Jaccard against the corpus),
+* an annotation workflow (draft -> expert review -> accept/reject) with
+  review rules mirroring the paper's quality bar (distinct plausible
+  options, visual required, difficulty annotated),
+* balancing reports that show what a growing collection needs next.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.question import Category, Question, QuestionType
+from repro.tokenizer import default_tokenizer
+
+
+# -- near-duplicate screening ----------------------------------------------------
+
+def _shingles(text: str, k: int = 3) -> Set[Tuple[str, ...]]:
+    tokens = default_tokenizer().tokenize(text)
+    if len(tokens) < k:
+        return {tuple(tokens)} if tokens else set()
+    return {tuple(tokens[i:i + k]) for i in range(len(tokens) - k + 1)}
+
+
+def prompt_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of token 3-shingles, in [0, 1]."""
+    sa, sb = _shingles(a), _shingles(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def find_near_duplicates(candidate: Question, corpus: Iterable[Question],
+                         threshold: float = 0.6) -> List[Tuple[str, float]]:
+    """Existing questions whose prompts are suspiciously similar."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    hits = []
+    for existing in corpus:
+        if existing.qid == candidate.qid:
+            continue
+        score = prompt_similarity(candidate.prompt, existing.prompt)
+        if score >= threshold:
+            hits.append((existing.qid, score))
+    hits.sort(key=lambda pair: -pair[1])
+    return hits
+
+
+# -- review workflow --------------------------------------------------------------
+
+class ReviewStatus(enum.Enum):
+    """Lifecycle of a submitted question."""
+
+    DRAFT = "draft"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ReviewRecord:
+    question: Question
+    status: ReviewStatus = ReviewStatus.DRAFT
+    issues: List[str] = field(default_factory=list)
+    reviewer: str = ""
+
+
+def review_question(question: Question,
+                    corpus: Sequence[Question] = (),
+                    duplicate_threshold: float = 0.6) -> List[str]:
+    """The expert-review checklist; returns the list of blocking issues.
+
+    Mirrors the paper's stated quality bar: every question carries a
+    visual, MC options are distinct and plausible (non-trivially long or
+    numeric), difficulty is annotated, topics are tagged, and the prompt
+    is not a near-duplicate of an existing question.
+    """
+    issues: List[str] = []
+    if not question.all_visuals:
+        issues.append("no visual component")
+    if not question.topics:
+        issues.append("missing topic tags")
+    if question.difficulty in (0.0, 1.0):
+        issues.append("difficulty not calibrated (saturated value)")
+    tokenizer = default_tokenizer()
+    if tokenizer.count(question.prompt) < 5:
+        issues.append("prompt too short to be self-contained")
+    if question.is_multiple_choice:
+        if len(set(question.choices)) != 4:
+            issues.append("options not distinct")
+        gold = question.choices[question.correct_choice]
+        if any(len(choice) == 0 for choice in question.choices):
+            issues.append("empty option")
+        lookalikes = sum(
+            1 for choice in question.choices
+            if abs(len(choice) - len(gold)) <= max(2, len(gold) // 2))
+        if lookalikes < 3:
+            # advisory only: length is a crude proxy for plausibility, so
+            # this flags for human attention rather than auto-rejecting
+            issues.append(
+                "advisory: options not syntactically similar to the gold")
+    duplicates = find_near_duplicates(question, corpus,
+                                      duplicate_threshold)
+    if duplicates:
+        worst = duplicates[0]
+        issues.append(
+            f"near-duplicate of {worst[0]} (similarity {worst[1]:.2f})")
+    return issues
+
+
+class CollectionPipeline:
+    """Grow a collection through the draft -> review -> accept workflow."""
+
+    def __init__(self, seed_corpus: Optional[Dataset] = None,
+                 duplicate_threshold: float = 0.6):
+        self._records: Dict[str, ReviewRecord] = {}
+        self._accepted: List[Question] = list(seed_corpus or [])
+        self.duplicate_threshold = duplicate_threshold
+
+    def submit(self, question: Question) -> ReviewRecord:
+        if question.qid in self._records or any(
+                q.qid == question.qid for q in self._accepted):
+            raise ValueError(f"duplicate qid {question.qid!r}")
+        record = ReviewRecord(question)
+        self._records[question.qid] = record
+        return record
+
+    def review(self, qid: str, reviewer: str = "expert") -> ReviewRecord:
+        record = self._records[qid]
+        record.issues = review_question(record.question, self._accepted,
+                                        self.duplicate_threshold)
+        record.reviewer = reviewer
+        blocking = [issue for issue in record.issues
+                    if not issue.startswith("advisory:")]
+        if blocking:
+            record.status = ReviewStatus.REJECTED
+        else:
+            record.status = ReviewStatus.ACCEPTED
+            self._accepted.append(record.question)
+        return record
+
+    def review_all(self, reviewer: str = "expert") -> Dict[str, ReviewStatus]:
+        outcome = {}
+        for qid, record in list(self._records.items()):
+            if record.status is ReviewStatus.DRAFT:
+                outcome[qid] = self.review(qid, reviewer).status
+        return outcome
+
+    @property
+    def accepted(self) -> Dataset:
+        return Dataset(self._accepted, name="collection")
+
+    def acceptance_rate(self) -> float:
+        reviewed = [r for r in self._records.values()
+                    if r.status is not ReviewStatus.DRAFT]
+        if not reviewed:
+            raise ValueError("nothing reviewed yet")
+        accepted = sum(1 for r in reviewed
+                       if r.status is ReviewStatus.ACCEPTED)
+        return accepted / len(reviewed)
+
+
+# -- balancing -------------------------------------------------------------------
+
+def balance_report(dataset: Dataset,
+                   target_per_category: int) -> Dict[Category, int]:
+    """Questions still needed per discipline to reach a uniform target."""
+    if target_per_category < 0:
+        raise ValueError("target must be non-negative")
+    counts = dataset.category_counts()
+    return {
+        category: max(0, target_per_category - counts[category])
+        for category in Category
+    }
+
+
+def mc_sa_report(dataset: Dataset,
+                 target_sa_fraction: float = 0.3) -> Dict[Category, int]:
+    """Short-answer questions needed per category to reach a SA fraction."""
+    if not 0.0 <= target_sa_fraction <= 1.0:
+        raise ValueError("fraction must be a probability")
+    needed: Dict[Category, int] = {}
+    mc_counts = dataset.mc_counts_by_category()
+    for category, total in dataset.category_counts().items():
+        sa = total - mc_counts[category]
+        target = int(round(target_sa_fraction * total))
+        needed[category] = max(0, target - sa)
+    return needed

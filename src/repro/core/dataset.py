@@ -1,0 +1,213 @@
+"""Dataset container: an ordered, queryable collection of questions.
+
+:class:`Dataset` wraps a sequence of :class:`~repro.core.question.Question`
+objects and provides the filtering, grouping, serialisation and statistics
+operations the benchmark harness and the Table I reproduction rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.question import (
+    Category,
+    Question,
+    QuestionType,
+    VisualType,
+)
+from repro.tokenizer import default_tokenizer
+
+
+@dataclass(frozen=True)
+class TokenStats:
+    """Summary statistics of prompt token lengths (Table I, bottom block)."""
+
+    mean: float
+    std: float
+    minimum: int
+    p25: float
+    p50: float
+    p75: float
+    maximum: int
+
+    def as_rows(self) -> List[tuple]:
+        return [
+            ("mean", round(self.mean, 2)),
+            ("std", round(self.std, 2)),
+            ("min", self.minimum),
+            ("25%", self.p25),
+            ("50%", self.p50),
+            ("75%", self.p75),
+            ("max", self.maximum),
+        ]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (matches numpy's default)."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = q / 100.0 * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    return float(sorted_values[low] * (1 - frac) + sorted_values[high] * frac)
+
+
+class Dataset:
+    """An immutable ordered collection of ChipVQA questions."""
+
+    def __init__(self, questions: Iterable[Question], name: str = "chipvqa"):
+        self._questions: List[Question] = list(questions)
+        self.name = name
+        seen = set()
+        for question in self._questions:
+            if question.qid in seen:
+                raise ValueError(f"duplicate question id: {question.qid}")
+            seen.add(question.qid)
+        self._by_qid = {q.qid: q for q in self._questions}
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._questions)
+
+    def __iter__(self) -> Iterator[Question]:
+        return iter(self._questions)
+
+    def __getitem__(self, index: int) -> Question:
+        return self._questions[index]
+
+    def __contains__(self, qid: object) -> bool:
+        return qid in self._by_qid
+
+    def get(self, qid: str) -> Question:
+        """Look a question up by id; raises ``KeyError`` if absent."""
+        return self._by_qid[qid]
+
+    @property
+    def questions(self) -> Sequence[Question]:
+        return tuple(self._questions)
+
+    # -- filtering / grouping ------------------------------------------------
+
+    def filter(
+        self, predicate: Callable[[Question], bool], name: Optional[str] = None
+    ) -> "Dataset":
+        """A new dataset containing questions for which ``predicate`` holds."""
+        return Dataset(
+            (q for q in self._questions if predicate(q)),
+            name=name or self.name,
+        )
+
+    def by_category(self, category: Category) -> "Dataset":
+        return self.filter(
+            lambda q: q.category is category,
+            name=f"{self.name}/{category.short.lower()}",
+        )
+
+    def by_type(self, question_type: QuestionType) -> "Dataset":
+        return self.filter(
+            lambda q: q.question_type is question_type,
+            name=f"{self.name}/{question_type.value}",
+        )
+
+    def split_by_category(self) -> Dict[Category, "Dataset"]:
+        return {c: self.by_category(c) for c in Category}
+
+    def map(
+        self, transform: Callable[[Question], Question], name: Optional[str] = None
+    ) -> "Dataset":
+        """A new dataset with ``transform`` applied to every question."""
+        return Dataset(
+            (transform(q) for q in self._questions), name=name or self.name
+        )
+
+    # -- statistics (Table I) -------------------------------------------------
+
+    def category_counts(self) -> Dict[Category, int]:
+        counts = Counter(q.category for q in self._questions)
+        return {c: counts.get(c, 0) for c in Category}
+
+    def type_counts(self) -> Dict[QuestionType, int]:
+        counts = Counter(q.question_type for q in self._questions)
+        return {t: counts.get(t, 0) for t in QuestionType}
+
+    def visual_counts(self) -> Dict[VisualType, int]:
+        """Counts of visual components by type (questions may have >1)."""
+        counts: Counter = Counter()
+        for question in self._questions:
+            for visual in question.all_visuals:
+                counts[visual.visual_type] += 1
+        return {v: counts[v] for v in VisualType if counts[v]}
+
+    def visual_component_total(self) -> int:
+        return sum(len(q.all_visuals) for q in self._questions)
+
+    def mc_counts_by_category(self) -> Dict[Category, int]:
+        counts: Counter = Counter(
+            q.category
+            for q in self._questions
+            if q.question_type is QuestionType.MULTIPLE_CHOICE
+        )
+        return {c: counts.get(c, 0) for c in Category}
+
+    def prompt_token_lengths(self) -> List[int]:
+        tokenizer = default_tokenizer()
+        return [tokenizer.count(q.prompt) for q in self._questions]
+
+    def token_stats(self) -> TokenStats:
+        lengths = sorted(self.prompt_token_lengths())
+        if not lengths:
+            raise ValueError("token stats of an empty dataset")
+        n = len(lengths)
+        mean = sum(lengths) / n
+        variance = sum((x - mean) ** 2 for x in lengths) / (n - 1) if n > 1 else 0.0
+        return TokenStats(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=lengths[0],
+            p25=_percentile(lengths, 25),
+            p50=_percentile(lengths, 50),
+            p75=_percentile(lengths, 75),
+            maximum=lengths[-1],
+        )
+
+    def difficulty_histogram(self, bins: int = 5) -> List[int]:
+        """Counts of questions per equal-width difficulty bin over [0, 1]."""
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        histogram = [0] * bins
+        for question in self._questions:
+            index = min(int(question.difficulty * bins), bins - 1)
+            histogram[index] += 1
+        return histogram
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(q.to_json() for q in self._questions)
+
+    @classmethod
+    def from_jsonl(cls, text: str, name: str = "chipvqa") -> "Dataset":
+        questions = [
+            Question.from_json(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return cls(questions, name=name)
+
+    def save(self, path: "Path | str") -> None:
+        Path(path).write_text(self.to_jsonl() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "Path | str", name: str = "chipvqa") -> "Dataset":
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"), name=name)

@@ -1,0 +1,96 @@
+"""The evaluation harness: run models over datasets and judge responses.
+
+:class:`EvaluationHarness` reproduces the paper's protocol (Section IV):
+zero-shot prompting at temperature 0.1, MC options in the prompt for the
+standard collection, the challenge collection with options removed, hybrid
+auto/manual judging, and the resolution-study variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
+from repro.core.dataset import Dataset
+from repro.core.metrics import EvalRecord, EvalResult
+from repro.core.question import Category
+from repro.judge.llm_judge import HybridJudge
+from repro.models.vlm import NO_CHOICE, WITH_CHOICE, SimulatedVLM
+
+
+class EvaluationHarness:
+    """Zero-shot VQA evaluation of simulated VLMs."""
+
+    def __init__(self, judge: Optional[HybridJudge] = None,
+                 use_raster: bool = False):
+        """``use_raster=True`` grounds perception in rendered pixels
+        (slower); the default analytic mode is used for the big Table II
+        sweeps and agrees with the raster mode on outcome plans at native
+        resolution."""
+        self.judge = judge or HybridJudge()
+        self.use_raster = use_raster
+
+    def evaluate(self, model: SimulatedVLM, dataset: Dataset,
+                 setting: str, resolution_factor: int = 1) -> EvalResult:
+        """Run one (model, dataset, setting) evaluation."""
+        questions = list(dataset)
+        answers = model.answer_all(questions, setting,
+                                   resolution_factor,
+                                   use_raster=self.use_raster)
+        result = EvalResult(model_name=model.name,
+                            dataset_name=dataset.name, setting=setting)
+        for question, answer in zip(questions, answers):
+            verdict = self.judge.judge(question, answer.text)
+            result.add(EvalRecord(
+                qid=question.qid,
+                category=question.category,
+                response=answer.text,
+                correct=verdict.correct,
+                judge_method=verdict.method,
+                perception=answer.perception,
+            ))
+        return result
+
+    # -- paper protocols -----------------------------------------------------
+
+    def zero_shot_standard(self, model: SimulatedVLM) -> EvalResult:
+        """Table II, left half: the standard collection with choices."""
+        return self.evaluate(model, build_chipvqa(), WITH_CHOICE)
+
+    def zero_shot_challenge(self, model: SimulatedVLM) -> EvalResult:
+        """Table II, right half: all MC questions recast as short answer."""
+        return self.evaluate(model, build_chipvqa_challenge(), NO_CHOICE)
+
+    def resolution_study(self, model: SimulatedVLM,
+                         category: Category = Category.DIGITAL,
+                         factors: Sequence[int] = (1, 8, 16)) -> Dict[int, EvalResult]:
+        """Section IV-B: one category evaluated at downsampled resolutions.
+
+        Raster-grounded perception is forced on (the study is about image
+        quality), regardless of the harness default.
+        """
+        subset = build_chipvqa().by_category(category)
+        results: Dict[int, EvalResult] = {}
+        raster_harness = EvaluationHarness(judge=self.judge, use_raster=True)
+        for factor in factors:
+            results[factor] = raster_harness.evaluate(
+                model, subset, WITH_CHOICE, resolution_factor=factor)
+        return results
+
+
+def run_table2(models: Sequence[SimulatedVLM],
+               harness: Optional[EvaluationHarness] = None
+               ) -> Dict[str, Dict[str, EvalResult]]:
+    """Evaluate a model list in both Table II settings.
+
+    Returns ``{model name: {"with_choice": ..., "no_choice": ...}}``.
+    """
+    harness = harness or EvaluationHarness()
+    results: Dict[str, Dict[str, EvalResult]] = {}
+    for model in models:
+        results[model.name] = {
+            WITH_CHOICE: harness.zero_shot_standard(model),
+            NO_CHOICE: harness.zero_shot_challenge(model),
+        }
+    return results

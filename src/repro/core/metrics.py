@@ -1,0 +1,142 @@
+"""Evaluation records and pass@1 metrics with per-category breakdowns."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.question import Category, Question
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One judged model response."""
+
+    qid: str
+    category: Category
+    response: str
+    correct: bool
+    judge_method: str = "auto"
+    perception: float = 1.0
+
+
+@dataclass
+class EvalResult:
+    """All records of one (model, dataset, setting) evaluation run."""
+
+    model_name: str
+    dataset_name: str
+    setting: str
+    records: List[EvalRecord] = field(default_factory=list)
+
+    def add(self, record: EvalRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- pass@1 ---------------------------------------------------------------
+
+    def pass_at_1(self) -> float:
+        """Overall pass@1 (fraction of correct first attempts)."""
+        if not self.records:
+            raise ValueError("no records")
+        return sum(r.correct for r in self.records) / len(self.records)
+
+    def pass_at_1_by_category(self) -> Dict[Category, float]:
+        buckets: Dict[Category, List[bool]] = {}
+        for record in self.records:
+            buckets.setdefault(record.category, []).append(record.correct)
+        return {
+            category: sum(flags) / len(flags)
+            for category, flags in buckets.items()
+        }
+
+    def correct_count(self) -> int:
+        return sum(r.correct for r in self.records)
+
+    def category_counts(self) -> Dict[Category, Tuple[int, int]]:
+        """(correct, total) per category."""
+        buckets: Dict[Category, List[bool]] = {}
+        for record in self.records:
+            buckets.setdefault(record.category, []).append(record.correct)
+        return {
+            category: (sum(flags), len(flags))
+            for category, flags in buckets.items()
+        }
+
+    def row(self, categories: Sequence[Category]) -> List[float]:
+        """Per-category pass@1 followed by the overall rate (a Table II row)."""
+        by_category = self.pass_at_1_by_category()
+        values = [by_category.get(c, 0.0) for c in categories]
+        values.append(self.pass_at_1())
+        return values
+
+    def manual_check_count(self) -> int:
+        return sum(1 for r in self.records if r.judge_method == "manual")
+
+
+def bootstrap_ci(flags: Sequence[bool], confidence: float = 0.95,
+                 resamples: int = 2000, seed: int = 7) -> Tuple[float, float]:
+    """Bootstrap confidence interval of a pass rate."""
+    if not flags:
+        raise ValueError("no observations")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    n = len(flags)
+    rates = sorted(
+        sum(rng.choice(flags) for _ in range(n)) / n
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * resamples)
+    high_index = min(resamples - 1, int((1.0 - alpha) * resamples))
+    return rates[low_index], rates[high_index]
+
+
+def mc_sa_gap(with_choice: EvalResult, no_choice: EvalResult) -> float:
+    """The 'MC-as-RAG' gap: pass@1 drop when options are removed."""
+    return with_choice.pass_at_1() - no_choice.pass_at_1()
+
+
+def agreement(a: Sequence[bool], b: Sequence[bool]) -> float:
+    """Fraction of positions where two verdict vectors agree."""
+    if len(a) != len(b) or not a:
+        raise ValueError("vectors must be equal-length and non-empty")
+    return sum(x == y for x, y in zip(a, b)) / len(a)
+
+
+def spearman_rank_correlation(x: Sequence[float],
+                              y: Sequence[float]) -> float:
+    """Spearman rho — used by the backbone-scaling ablation."""
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need two equal-length sequences of >= 2 points")
+
+    def ranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        result = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while (j + 1 < len(order)
+                   and values[order[j + 1]] == values[order[i]]):
+                j += 1
+            mean_rank = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                result[order[k]] = mean_rank
+            i = j + 1
+        return result
+
+    rank_x = ranks(x)
+    rank_y = ranks(y)
+    mean_x = sum(rank_x) / len(rank_x)
+    mean_y = sum(rank_y) / len(rank_y)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rank_x, rank_y))
+    var_x = sum((a - mean_x) ** 2 for a in rank_x)
+    var_y = sum((b - mean_y) ** 2 for b in rank_y)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("constant sequence has no rank correlation")
+    return cov / math.sqrt(var_x * var_y)

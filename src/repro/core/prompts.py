@@ -1,0 +1,79 @@
+"""Prompt construction for VLM evaluation.
+
+Reproduces the paper's prompting setup (Section IV): a question-answering
+system prompt, MC options rendered as text in the user prompt, and the
+fallback for models without system-prompt support (PaliGemma-style), where
+the system prompt is concatenated with the user question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.question import Question, QuestionType, format_choices
+
+SYSTEM_PROMPT = (
+    "You are an expert chip design engineer. Answer the question about "
+    "the attached figure. For multiple choice questions respond with the "
+    "single letter of the correct option. For short answer questions "
+    "respond with the value or phrase only, including units where "
+    "applicable. Do not explain your reasoning."
+)
+
+JUDGE_SYSTEM_PROMPT = (
+    "You are a strict grader. Given a golden answer and a model response "
+    "to the same chip-design question, reply with exactly YES if they are "
+    "equivalent answers and NO otherwise. Numeric answers are equivalent "
+    "when they agree within rounding and unit conversion; expressions are "
+    "equivalent when they denote the same function."
+)
+
+
+@dataclass(frozen=True)
+class PromptBundle:
+    """What gets sent to a model for one question."""
+
+    system: Optional[str]
+    user: str
+    image_count: int
+
+    @property
+    def combined(self) -> str:
+        """System and user text merged (for models without system role)."""
+        if self.system:
+            return f"{self.system}\n\n{self.user}"
+        return self.user
+
+
+def question_user_prompt(question: Question) -> str:
+    """The user-turn text for a question (choices included for MC)."""
+    parts: List[str] = [question.prompt]
+    if question.question_type is QuestionType.MULTIPLE_CHOICE:
+        parts.append("")
+        parts.append(format_choices(question.choices))
+        parts.append("")
+        parts.append("Answer with the letter of the correct option.")
+    else:
+        parts.append("")
+        parts.append("Answer with the value or short phrase only.")
+    return "\n".join(parts)
+
+
+def build_prompt(question: Question,
+                 supports_system_prompt: bool = True) -> PromptBundle:
+    """Assemble the full prompt bundle for a model."""
+    user = question_user_prompt(question)
+    if supports_system_prompt:
+        return PromptBundle(system=SYSTEM_PROMPT, user=user,
+                            image_count=len(question.all_visuals))
+    merged = f"{SYSTEM_PROMPT}\n\n{user}"
+    return PromptBundle(system=None, user=merged,
+                        image_count=len(question.all_visuals))
+
+
+def judge_prompt(gold: str, response: str) -> str:
+    """The user prompt handed to the auto-evaluation judge."""
+    return (f"Golden answer: {gold}\n"
+            f"Model response: {response}\n"
+            f"Are these equivalent? Reply YES or NO.")

@@ -1,0 +1,415 @@
+"""Core data schema for ChipVQA questions.
+
+A ChipVQA item is a *visual-question-answer triplet*: a text prompt, at least
+one visual component essential to the answer, and a gold answer.  Two question
+forms exist (paper, Section III-A):
+
+* **multiple choice** (MC): the prompt is accompanied by four answer options
+  rendered as text; the gold answer is one option.
+* **short answer** (SA): open-ended response, e.g. a numeric value with a
+  unit, a boolean expression, or a brief explanation.
+
+This module defines the immutable dataclasses shared by every other
+subsystem: :class:`Question`, :class:`VisualContent`, :class:`AnswerSpec` and
+the category / visual-type / question-type enums whose members mirror the
+vocabulary of Table I in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class Category(enum.Enum):
+    """The five chip-design disciplines covered by ChipVQA (Table I)."""
+
+    DIGITAL = "Digital Design"
+    ANALOG = "Analog Design"
+    ARCHITECTURE = "Architecture"
+    MANUFACTURING = "Manufacture"
+    PHYSICAL = "Physical Design"
+
+    @property
+    def short(self) -> str:
+        """Column label used in Table II of the paper."""
+        return _CATEGORY_SHORT[self]
+
+
+_CATEGORY_SHORT = {
+    Category.DIGITAL: "Digital",
+    Category.ANALOG: "Analog",
+    Category.ARCHITECTURE: "Architecture",
+    Category.MANUFACTURING: "Manufacture",
+    Category.PHYSICAL: "Physical",
+}
+
+#: Number of questions per category, exactly as reported in Table I.
+CATEGORY_COUNTS = {
+    Category.DIGITAL: 35,
+    Category.ANALOG: 44,
+    Category.ARCHITECTURE: 20,
+    Category.MANUFACTURING: 20,
+    Category.PHYSICAL: 23,
+}
+
+#: Total number of questions in the standard collection.
+TOTAL_QUESTIONS = 142
+
+#: Multiple-choice / short-answer split of the standard collection (Table I).
+TOTAL_MULTIPLE_CHOICE = 99
+TOTAL_SHORT_ANSWER = 43
+
+#: Per-category MC counts chosen to be consistent with the paper (Digital and
+#: Analog are all-MC per Section III-B; Manufacturing skews short-answer per
+#: Section IV-A).  The remainder of each category is short-answer.
+CATEGORY_MC_COUNTS = {
+    Category.DIGITAL: 35,
+    Category.ANALOG: 44,
+    Category.ARCHITECTURE: 8,
+    Category.MANUFACTURING: 5,
+    Category.PHYSICAL: 7,
+}
+
+
+class QuestionType(enum.Enum):
+    """The two question forms of the benchmark."""
+
+    MULTIPLE_CHOICE = "multiple_choice"
+    SHORT_ANSWER = "short_answer"
+
+
+class VisualType(enum.Enum):
+    """The twelve visual-content types enumerated in Table I."""
+
+    SCHEMATIC = "schematic"
+    DIAGRAM = "diagram"
+    LAYOUT = "layout"
+    TABLE = "table"
+    MIXED = "mixed"
+    STRUCTURE = "structure"
+    FIGURE = "figure"
+    CURVE = "curve"
+    FLOW = "flow"
+    EQUATIONS = "equations"
+    NEURAL_NETS = "neural nets"
+    EQUATION = "equation"
+
+
+#: Visual-content counts exactly as reported in Table I.  They sum to 144:
+#: the paper says every question has *at least one* visual, so two questions
+#: carry a second visual component.
+VISUAL_TYPE_COUNTS = {
+    VisualType.SCHEMATIC: 53,
+    VisualType.DIAGRAM: 29,
+    VisualType.LAYOUT: 16,
+    VisualType.TABLE: 15,
+    VisualType.MIXED: 15,
+    VisualType.STRUCTURE: 3,
+    VisualType.FIGURE: 4,
+    VisualType.CURVE: 4,
+    VisualType.FLOW: 1,
+    VisualType.EQUATIONS: 1,
+    VisualType.NEURAL_NETS: 2,
+    VisualType.EQUATION: 1,
+}
+
+
+class AnswerKind(enum.Enum):
+    """How a gold answer should be compared by the judge."""
+
+    CHOICE = "choice"  # one of the four MC option letters
+    NUMERIC = "numeric"  # a number, optionally with a unit
+    BOOLEAN_EXPR = "boolean_expr"  # a boolean algebra expression
+    TEXT = "text"  # free text, judged by alias/fuzzy equivalence
+
+
+@dataclass(frozen=True)
+class VisualContent:
+    """A visual component of a question.
+
+    The raster itself is rendered lazily by :mod:`repro.visual` from
+    ``render_spec`` so datasets stay cheap to build; ``legibility_scale``
+    captures the smallest semantically-essential feature size (in pixels at
+    native resolution), which the resolution study uses to decide when
+    downsampling destroys information.
+    """
+
+    visual_type: VisualType
+    description: str
+    render_spec: Tuple = ()
+    width: int = 512
+    height: int = 384
+    legibility_scale: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("visual dimensions must be positive")
+        if self.legibility_scale <= 0:
+            raise ValueError("legibility_scale must be positive")
+
+
+@dataclass(frozen=True)
+class AnswerSpec:
+    """Gold answer plus the information the judge needs to compare it.
+
+    ``aliases`` lists alternative surface forms accepted as equivalent;
+    ``unit`` and ``rel_tol`` configure numeric comparison; ``variables``
+    names the boolean variables in scope for boolean-expression answers.
+    """
+
+    kind: AnswerKind
+    text: str
+    aliases: Tuple[str, ...] = ()
+    unit: str = ""
+    rel_tol: float = 0.02
+    variables: Tuple[str, ...] = ()
+    requires_manual_check: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("gold answer text must be non-empty")
+        if self.rel_tol < 0:
+            raise ValueError("rel_tol must be non-negative")
+
+
+@dataclass(frozen=True)
+class Question:
+    """One ChipVQA visual-question-answer triplet."""
+
+    qid: str
+    category: Category
+    question_type: QuestionType
+    prompt: str
+    visual: VisualContent
+    answer: AnswerSpec
+    choices: Tuple[str, ...] = ()
+    correct_choice: int = -1
+    difficulty: float = 0.5
+    topics: Tuple[str, ...] = ()
+    source: str = "generated"
+    extra_visuals: Tuple[VisualContent, ...] = ()
+    explanation: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.qid:
+            raise ValueError("qid must be non-empty")
+        if not self.prompt:
+            raise ValueError("prompt must be non-empty")
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError("difficulty must lie in [0, 1]")
+        if self.question_type is QuestionType.MULTIPLE_CHOICE:
+            if len(self.choices) != 4:
+                raise ValueError(
+                    f"{self.qid}: multiple-choice questions need exactly 4 "
+                    f"choices, got {len(self.choices)}"
+                )
+            if not 0 <= self.correct_choice < 4:
+                raise ValueError(
+                    f"{self.qid}: correct_choice must index into choices"
+                )
+            if len(set(self.choices)) != 4:
+                raise ValueError(f"{self.qid}: choices must be distinct")
+        else:
+            if self.choices:
+                raise ValueError(
+                    f"{self.qid}: short-answer questions must not have choices"
+                )
+
+    @property
+    def is_multiple_choice(self) -> bool:
+        return self.question_type is QuestionType.MULTIPLE_CHOICE
+
+    @property
+    def all_visuals(self) -> Tuple[VisualContent, ...]:
+        """Primary visual followed by any secondary visuals."""
+        return (self.visual,) + self.extra_visuals
+
+    @property
+    def gold_text(self) -> str:
+        """The gold answer in its canonical surface form."""
+        if self.is_multiple_choice:
+            return self.choices[self.correct_choice]
+        return self.answer.text
+
+    @property
+    def gold_letter(self) -> str:
+        """The gold option letter (``A``-``D``) for MC questions."""
+        if not self.is_multiple_choice:
+            raise ValueError(f"{self.qid} is not multiple choice")
+        return "ABCD"[self.correct_choice]
+
+    def stable_hash(self) -> int:
+        """A deterministic 64-bit hash of the question's identity.
+
+        Used to derive per-question jitter in the model simulator; stable
+        across processes (unlike the built-in ``hash``).
+        """
+        digest = hashlib.sha256(self.qid.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary."""
+        def visual_dict(visual: VisualContent) -> dict:
+            return {
+                "visual_type": visual.visual_type.value,
+                "description": visual.description,
+                "width": visual.width,
+                "height": visual.height,
+                "legibility_scale": visual.legibility_scale,
+            }
+
+        return {
+            "qid": self.qid,
+            "category": self.category.value,
+            "question_type": self.question_type.value,
+            "prompt": self.prompt,
+            "visual": visual_dict(self.visual),
+            "extra_visuals": [visual_dict(v) for v in self.extra_visuals],
+            "answer": {
+                "kind": self.answer.kind.value,
+                "text": self.answer.text,
+                "aliases": list(self.answer.aliases),
+                "unit": self.answer.unit,
+                "rel_tol": self.answer.rel_tol,
+                "variables": list(self.answer.variables),
+                "requires_manual_check": self.answer.requires_manual_check,
+            },
+            "choices": list(self.choices),
+            "correct_choice": self.correct_choice,
+            "difficulty": self.difficulty,
+            "topics": list(self.topics),
+            "source": self.source,
+            "explanation": self.explanation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Question":
+        """Inverse of :meth:`to_dict` (render_spec is not round-tripped)."""
+        def visual_from(entry: dict) -> VisualContent:
+            return VisualContent(
+                visual_type=VisualType(entry["visual_type"]),
+                description=entry["description"],
+                width=entry["width"],
+                height=entry["height"],
+                legibility_scale=entry["legibility_scale"],
+            )
+
+        visual = visual_from(data["visual"])
+        answer = AnswerSpec(
+            kind=AnswerKind(data["answer"]["kind"]),
+            text=data["answer"]["text"],
+            aliases=tuple(data["answer"]["aliases"]),
+            unit=data["answer"]["unit"],
+            rel_tol=data["answer"]["rel_tol"],
+            variables=tuple(data["answer"]["variables"]),
+            requires_manual_check=data["answer"]["requires_manual_check"],
+        )
+        return cls(
+            qid=data["qid"],
+            category=Category(data["category"]),
+            question_type=QuestionType(data["question_type"]),
+            prompt=data["prompt"],
+            visual=visual,
+            answer=answer,
+            choices=tuple(data["choices"]),
+            correct_choice=data["correct_choice"],
+            difficulty=data["difficulty"],
+            topics=tuple(data["topics"]),
+            source=data["source"],
+            extra_visuals=tuple(
+                visual_from(entry) for entry in data.get("extra_visuals", ())
+            ),
+            explanation=data.get("explanation", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Question":
+        return cls.from_dict(json.loads(text))
+
+
+def format_choices(choices: Sequence[str]) -> str:
+    """Render MC options the way they appear in the question prompt."""
+    return "\n".join(
+        f"{letter}) {choice}" for letter, choice in zip("ABCD", choices)
+    )
+
+
+def make_mc_question(
+    qid: str,
+    category: Category,
+    prompt: str,
+    visual: VisualContent,
+    choices: Sequence[str],
+    correct: int,
+    *,
+    difficulty: float = 0.5,
+    topics: Sequence[str] = (),
+    answer_kind: AnswerKind = AnswerKind.CHOICE,
+    aliases: Sequence[str] = (),
+    unit: str = "",
+    variables: Sequence[str] = (),
+    source: str = "generated",
+    explanation: str = "",
+) -> Question:
+    """Convenience constructor for a multiple-choice question.
+
+    The gold :class:`AnswerSpec` text is the correct option's full text, so
+    the same question can later be converted to short-answer form (the
+    "challenge collection") without re-deriving the answer.
+    """
+    choices = tuple(choices)
+    answer = AnswerSpec(
+        kind=answer_kind,
+        text=choices[correct],
+        aliases=tuple(aliases),
+        unit=unit,
+        variables=tuple(variables),
+    )
+    return Question(
+        qid=qid,
+        category=category,
+        question_type=QuestionType.MULTIPLE_CHOICE,
+        prompt=prompt,
+        visual=visual,
+        answer=answer,
+        choices=choices,
+        correct_choice=correct,
+        difficulty=difficulty,
+        topics=tuple(topics),
+        source=source,
+        explanation=explanation,
+    )
+
+
+def make_sa_question(
+    qid: str,
+    category: Category,
+    prompt: str,
+    visual: VisualContent,
+    answer: AnswerSpec,
+    *,
+    difficulty: float = 0.5,
+    topics: Sequence[str] = (),
+    source: str = "generated",
+    explanation: str = "",
+) -> Question:
+    """Convenience constructor for a short-answer question."""
+    return Question(
+        qid=qid,
+        category=category,
+        question_type=QuestionType.SHORT_ANSWER,
+        prompt=prompt,
+        visual=visual,
+        answer=answer,
+        difficulty=difficulty,
+        topics=tuple(topics),
+        source=source,
+        explanation=explanation,
+    )

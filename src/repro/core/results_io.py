@@ -1,0 +1,107 @@
+"""Persistence for evaluation results: JSONL records + run manifests.
+
+An :class:`~repro.core.metrics.EvalResult` round-trips to a JSONL file
+whose first line is a manifest (model, dataset, setting) and whose
+remaining lines are per-question records — the artifact format a
+benchmark leaderboard would ingest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.metrics import EvalRecord, EvalResult
+from repro.core.question import Category
+
+FORMAT_VERSION = 1
+
+
+def dumps(result: EvalResult) -> str:
+    """Serialise a result to JSONL text."""
+    lines = [json.dumps({
+        "format_version": FORMAT_VERSION,
+        "model": result.model_name,
+        "dataset": result.dataset_name,
+        "setting": result.setting,
+        "records": len(result.records),
+    }, sort_keys=True)]
+    for record in result.records:
+        lines.append(json.dumps({
+            "qid": record.qid,
+            "category": record.category.value,
+            "response": record.response,
+            "correct": record.correct,
+            "judge_method": record.judge_method,
+            "perception": round(record.perception, 6),
+        }, sort_keys=True))
+    return "\n".join(lines)
+
+
+def loads(text: str) -> EvalResult:
+    """Inverse of :func:`dumps`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty results file")
+    manifest = json.loads(lines[0])
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format {manifest.get('format_version')}")
+    result = EvalResult(
+        model_name=manifest["model"],
+        dataset_name=manifest["dataset"],
+        setting=manifest["setting"],
+    )
+    for line in lines[1:]:
+        data = json.loads(line)
+        result.add(EvalRecord(
+            qid=data["qid"],
+            category=Category(data["category"]),
+            response=data["response"],
+            correct=data["correct"],
+            judge_method=data["judge_method"],
+            perception=data["perception"],
+        ))
+    if len(result.records) != manifest["records"]:
+        raise ValueError(
+            f"manifest promises {manifest['records']} records, file has "
+            f"{len(result.records)} (truncated?)")
+    return result
+
+
+def save(result: EvalResult, path: "Path | str") -> Path:
+    """Write a result to ``path`` as JSONL."""
+    path = Path(path)
+    path.write_text(dumps(result) + "\n", encoding="utf-8")
+    return path
+
+
+def load(path: "Path | str") -> EvalResult:
+    """Read a result previously written by :func:`save`."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def save_run(results: Dict[str, Dict[str, EvalResult]],
+             out_dir: "Path | str") -> List[Path]:
+    """Persist a full run_table2-style result tree, one file per cell."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for model_name, settings in results.items():
+        for setting, result in settings.items():
+            written.append(
+                save(result, out_dir / f"{model_name}__{setting}.jsonl"))
+    return written
+
+
+def load_run(out_dir: "Path | str") -> Dict[str, Dict[str, EvalResult]]:
+    """Inverse of :func:`save_run` over a directory of result files."""
+    out_dir = Path(out_dir)
+    results: Dict[str, Dict[str, EvalResult]] = {}
+    for path in sorted(out_dir.glob("*__*.jsonl")):
+        model_name, _, setting = path.stem.partition("__")
+        results.setdefault(model_name, {})[setting] = load(path)
+    if not results:
+        raise ValueError(f"no result files in {out_dir}")
+    return results

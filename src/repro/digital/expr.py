@@ -1,0 +1,314 @@
+"""Boolean algebra: expression AST, parser, evaluation and equivalence.
+
+The grammar matches textbook notation as used in ChipVQA answers
+(e.g. ``Q = S'R'q + SR'``):
+
+* juxtaposition is AND (``AB`` = ``A AND B``), ``*`` and ``&`` also accepted;
+* ``+`` and ``|`` are OR;
+* a postfix apostrophe is NOT (``A'``), prefix ``~`` / ``!`` also accepted;
+* ``^`` is XOR; parentheses group; ``0`` / ``1`` are constants.
+
+Equivalence is decided by exhaustive truth-table comparison over the union
+of variable sets — exact for the <= 8-variable expressions the benchmark
+uses, and the mechanism the judge substrate relies on to accept re-ordered
+or re-factored boolean answers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple, Union
+
+
+class ExprError(ValueError):
+    """Raised for malformed boolean expressions."""
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    value: bool
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        inner = str(self.operand)
+        if isinstance(self.operand, (Var, Const)):
+            return f"{inner}'"
+        return f"({inner})'"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        parts = []
+        for operand in self.operands:
+            text = str(operand)
+            if isinstance(operand, (Or, Xor)):
+                text = f"({text})"
+            parts.append(text)
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: Tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return " + ".join(str(operand) for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Xor:
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        def wrap(e: "Expr") -> str:
+            text = str(e)
+            if isinstance(e, (Or, And)):
+                return f"({text})"
+            return text
+
+        return f"{wrap(self.left)} ^ {wrap(self.right)}"
+
+
+Expr = Union[Var, Const, Not, And, Or, Xor]
+
+
+# -- parsing ------------------------------------------------------------------
+
+_TOKEN_CHARS = {"+", "|", "*", "&", "^", "(", ")", "'", "~", "!"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in _TOKEN_CHARS:
+            tokens.append(ch)
+            i += 1
+        elif ch.isalpha() or ch == "_":
+            j = i + 1
+            # variable names: single letter optionally followed by digits
+            while j < len(text) and text[j].isdigit():
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+        elif ch in "01":
+            tokens.append(ch)
+            i += 1
+        else:
+            raise ExprError(f"unexpected character {ch!r} in {text!r}")
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the textbook boolean grammar."""
+
+    def __init__(self, tokens: Sequence[str]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    def _peek(self) -> str:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else ""
+
+    def _next(self) -> str:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._or()
+        if self._pos != len(self._tokens):
+            raise ExprError(f"trailing tokens at {self._tokens[self._pos:]}")
+        return expr
+
+    def _or(self) -> Expr:
+        operands = [self._xor()]
+        while self._peek() in ("+", "|"):
+            self._next()
+            operands.append(self._xor())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _xor(self) -> Expr:
+        left = self._and()
+        while self._peek() == "^":
+            self._next()
+            left = Xor(left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        operands = [self._unary()]
+        while True:
+            token = self._peek()
+            if token in ("*", "&"):
+                self._next()
+                operands.append(self._unary())
+            elif token and (token[0].isalnum() or token in ("(", "~", "!")
+                            or token == "_"):
+                operands.append(self._unary())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token in ("~", "!"):
+            self._next()
+            return self._postfix(Not(self._unary()))
+        return self._postfix(self._atom())
+
+    def _postfix(self, expr: Expr) -> Expr:
+        while self._peek() == "'":
+            self._next()
+            expr = Not(expr)
+        return expr
+
+    def _atom(self) -> Expr:
+        token = self._next()
+        if token == "(":
+            inner = self._or()
+            if self._next() != ")":
+                raise ExprError("unbalanced parenthesis")
+            return inner
+        if token == "0":
+            return Const(False)
+        if token == "1":
+            return Const(True)
+        if token and (token[0].isalpha() or token[0] == "_"):
+            return Var(token)
+        raise ExprError(f"unexpected token {token!r}")
+
+
+def parse(text: str) -> Expr:
+    """Parse boolean expression ``text`` into an AST.
+
+    Accepts an optional ``LHS =`` prefix (``Q = S'Q + S``) which is dropped.
+    """
+    if "=" in text:
+        text = text.split("=", 1)[1]
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExprError("empty expression")
+    return _Parser(tokens).parse()
+
+
+# -- evaluation and equivalence --------------------------------------------------
+
+def variables(expr: Expr) -> FrozenSet[str]:
+    """The set of variable names appearing in ``expr``."""
+    if isinstance(expr, Var):
+        return frozenset([expr.name])
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, Not):
+        return variables(expr.operand)
+    if isinstance(expr, (And, Or)):
+        result: FrozenSet[str] = frozenset()
+        for operand in expr.operands:
+            result |= variables(operand)
+        return result
+    if isinstance(expr, Xor):
+        return variables(expr.left) | variables(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def evaluate(expr: Expr, assignment: Dict[str, bool]) -> bool:
+    """Evaluate ``expr`` under a variable assignment."""
+    if isinstance(expr, Var):
+        try:
+            return bool(assignment[expr.name])
+        except KeyError:
+            raise ExprError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, assignment)
+    if isinstance(expr, And):
+        return all(evaluate(op, assignment) for op in expr.operands)
+    if isinstance(expr, Or):
+        return any(evaluate(op, assignment) for op in expr.operands)
+    if isinstance(expr, Xor):
+        return evaluate(expr.left, assignment) != evaluate(expr.right, assignment)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def assignments(names: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    """All 2^n assignments over ``names`` in binary counting order."""
+    for bits in itertools.product((False, True), repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def truth_vector(expr: Expr, names: Sequence[str]) -> Tuple[bool, ...]:
+    """The expression's output column over all assignments of ``names``."""
+    return tuple(evaluate(expr, a) for a in assignments(names))
+
+
+def equivalent(left: Expr, right: Expr) -> bool:
+    """Exact equivalence by exhaustive truth-table comparison."""
+    names = sorted(variables(left) | variables(right))
+    if len(names) > 16:
+        raise ExprError("too many variables for exhaustive equivalence")
+    return truth_vector(left, names) == truth_vector(right, names)
+
+
+def equivalent_text(left: str, right: str) -> bool:
+    """Parse both strings and compare; ``False`` if either fails to parse."""
+    try:
+        return equivalent(parse(left), parse(right))
+    except ExprError:
+        return False
+
+
+def minterms_of(expr: Expr, names: Sequence[str]) -> List[int]:
+    """Indices (binary counting order over ``names``) where ``expr`` is 1."""
+    return [
+        index
+        for index, value in enumerate(truth_vector(expr, names))
+        if value
+    ]
+
+
+def from_minterms(names: Sequence[str], minterms: Sequence[int]) -> Expr:
+    """Canonical sum-of-minterms expression over ``names``."""
+    mins = set(minterms)
+    n = len(names)
+    if not mins:
+        return Const(False)
+    if len(mins) == 2 ** n:
+        return Const(True)
+    terms: List[Expr] = []
+    for m in sorted(mins):
+        literals: List[Expr] = []
+        for bit_index, name in enumerate(names):
+            bit = (m >> (n - 1 - bit_index)) & 1
+            literal: Expr = Var(name)
+            if not bit:
+                literal = Not(literal)
+            literals.append(literal)
+        terms.append(And(tuple(literals)) if len(literals) > 1 else literals[0])
+    return Or(tuple(terms)) if len(terms) > 1 else terms[0]

@@ -1,0 +1,207 @@
+"""Two-level logic minimisation: Quine-McCluskey with Petrick fallback.
+
+Produces minimal sum-of-products covers for functions of up to ~8 variables
+(ChipVQA questions use 2-4).  Also provides Karnaugh-map grid construction
+(Gray-coded) for the figure renderer, and SOP-expression formatting that
+matches the answer style of the paper's example (``Q = S'R'q + SR'``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.digital.expr import And, Const, Expr, Not, Or, Var
+
+GRAY_2 = (0, 1)
+GRAY_4 = (0, 1, 3, 2)
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term: ``value`` over cared bits, ``mask`` of don't-care bits."""
+
+    value: int
+    mask: int
+
+    def covers(self, minterm: int) -> bool:
+        return (minterm & ~self.mask) == self.value
+
+    def literal_count(self, n_vars: int) -> int:
+        return n_vars - bin(self.mask).count("1")
+
+    def to_term(self, names: Sequence[str]) -> Expr:
+        n = len(names)
+        literals: List[Expr] = []
+        for index, name in enumerate(names):
+            bit_pos = n - 1 - index
+            if (self.mask >> bit_pos) & 1:
+                continue
+            literal: Expr = Var(name)
+            if not (self.value >> bit_pos) & 1:
+                literal = Not(literal)
+            literals.append(literal)
+        if not literals:
+            return Const(True)
+        if len(literals) == 1:
+            return literals[0]
+        return And(tuple(literals))
+
+
+def _combine(a: Implicant, b: Implicant) -> Optional[Implicant]:
+    """Merge two implicants differing in exactly one cared bit."""
+    if a.mask != b.mask:
+        return None
+    diff = a.value ^ b.value
+    if diff and (diff & (diff - 1)) == 0:  # exactly one bit differs
+        return Implicant(a.value & ~diff, a.mask | diff)
+    return None
+
+
+def prime_implicants(
+    n_vars: int, minterms: Sequence[int], dont_cares: Sequence[int] = ()
+) -> List[Implicant]:
+    """All prime implicants of the function (minterms + don't-cares)."""
+    limit = 1 << n_vars
+    for m in itertools.chain(minterms, dont_cares):
+        if not 0 <= m < limit:
+            raise ValueError(
+                f"minterm {m} outside the {n_vars}-variable space")
+    current: Set[Implicant] = {
+        Implicant(m, 0) for m in itertools.chain(minterms, dont_cares)
+    }
+    primes: Set[Implicant] = set()
+    while current:
+        merged: Set[Implicant] = set()
+        used: Set[Implicant] = set()
+        items = sorted(current, key=lambda imp: (imp.mask, imp.value))
+        for a, b in itertools.combinations(items, 2):
+            combined = _combine(a, b)
+            if combined is not None:
+                merged.add(combined)
+                used.add(a)
+                used.add(b)
+        primes |= current - used
+        current = merged
+    return sorted(primes, key=lambda imp: (imp.mask, imp.value))
+
+
+def minimize(
+    n_vars: int, minterms: Sequence[int], dont_cares: Sequence[int] = ()
+) -> List[Implicant]:
+    """A minimum-cardinality prime-implicant cover of ``minterms``.
+
+    Essential primes are selected first; the residual covering problem is
+    solved exactly by Petrick's method (fine at benchmark sizes).
+    """
+    required = sorted(set(minterms) - set(dont_cares))
+    if not required:
+        return []
+    primes = prime_implicants(n_vars, minterms, dont_cares)
+    # chart: minterm -> primes covering it
+    chart = {
+        m: [p for p in primes if p.covers(m)]
+        for m in required
+    }
+    for m, covering in chart.items():
+        if not covering:
+            raise ValueError(f"minterm {m} not covered by any prime")
+    essential: List[Implicant] = []
+    covered: Set[int] = set()
+    for m, covering in chart.items():
+        if len(covering) == 1 and covering[0] not in essential:
+            essential.append(covering[0])
+    for p in essential:
+        covered |= {m for m in required if p.covers(m)}
+    remaining = [m for m in required if m not in covered]
+    if not remaining:
+        return essential
+    candidates = [p for p in primes if p not in essential]
+    best = _petrick(remaining, candidates, n_vars)
+    return essential + best
+
+
+def _petrick(
+    minterms: Sequence[int], primes: Sequence[Implicant], n_vars: int
+) -> List[Implicant]:
+    """Exact minimum cover via Petrick's method (product-of-sums expansion)."""
+    # each product is a frozenset of prime indices
+    products: Set[FrozenSet[int]] = {frozenset()}
+    for m in minterms:
+        covering = [i for i, p in enumerate(primes) if p.covers(m)]
+        new_products: Set[FrozenSet[int]] = set()
+        for product in products:
+            for index in covering:
+                new_products.add(product | {index})
+        # absorb supersets to keep the set small
+        products = _absorb(new_products)
+    def cost(product: FrozenSet[int]) -> Tuple[int, int]:
+        return (
+            len(product),
+            sum(primes[i].literal_count(n_vars) for i in product),
+        )
+    best = min(products, key=cost)
+    return [primes[i] for i in sorted(best)]
+
+
+def _absorb(products: Set[FrozenSet[int]]) -> Set[FrozenSet[int]]:
+    kept: Set[FrozenSet[int]] = set()
+    for product in sorted(products, key=len):
+        if not any(existing <= product for existing in kept):
+            kept.add(product)
+    return kept
+
+
+def minimized_expr(
+    names: Sequence[str],
+    minterms: Sequence[int],
+    dont_cares: Sequence[int] = (),
+) -> Expr:
+    """Minimal SOP expression over ``names``."""
+    cover = minimize(len(names), minterms, dont_cares)
+    if not cover:
+        return Const(False)
+    terms = [imp.to_term(names) for imp in cover]
+    if len(terms) == 1:
+        return terms[0]
+    return Or(tuple(terms))
+
+
+def sop_text(expr: Expr) -> str:
+    """Render an SOP expression in the paper's answer style."""
+    return str(expr)
+
+
+def kmap_grid(
+    names: Sequence[str],
+    minterms: Sequence[int],
+    dont_cares: Sequence[int] = (),
+) -> List[List[str]]:
+    """A Gray-coded K-map cell grid ('0' / '1' / 'X') for rendering.
+
+    Supports 2, 3 and 4 variables (2x2, 2x4 and 4x4 grids); row variables
+    are the leading half of ``names``.
+    """
+    n = len(names)
+    if n not in (2, 3, 4):
+        raise ValueError("K-maps supported for 2-4 variables")
+    row_bits = 1 if n <= 3 else 2
+    col_bits = n - row_bits
+    rows = GRAY_2 if row_bits == 1 else GRAY_4
+    cols = GRAY_2 if col_bits == 1 else GRAY_4
+    mins = set(minterms)
+    dcs = set(dont_cares)
+    grid: List[List[str]] = []
+    for row_code in rows:
+        row: List[str] = []
+        for col_code in cols:
+            minterm = (row_code << col_bits) | col_code
+            if minterm in dcs:
+                row.append("X")
+            elif minterm in mins:
+                row.append("1")
+            else:
+                row.append("0")
+        grid.append(row)
+    return grid

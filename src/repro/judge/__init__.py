@@ -1,0 +1,29 @@
+"""Judge substrate: the hybrid auto/manual answer-equivalence evaluation."""
+
+from repro.judge.equivalence import (
+    answers_equivalent,
+    boolean_equivalent,
+    numeric_equivalent,
+    text_equivalent,
+)
+from repro.judge.llm_judge import AutoJudge, HybridJudge, Verdict
+from repro.judge.manual import ManualCheckRegistry
+from repro.judge.normalize import (
+    extract_option_letter,
+    normalize_text,
+    parse_number_with_unit,
+)
+
+__all__ = [
+    "AutoJudge",
+    "HybridJudge",
+    "ManualCheckRegistry",
+    "Verdict",
+    "answers_equivalent",
+    "boolean_equivalent",
+    "numeric_equivalent",
+    "text_equivalent",
+    "extract_option_letter",
+    "normalize_text",
+    "parse_number_with_unit",
+]

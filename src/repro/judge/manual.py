@@ -1,0 +1,42 @@
+"""Manual-check registry: annotator verdict overrides keyed by question.
+
+The paper's evaluation escalates certain (question, response) pairs to
+human annotators.  The registry stores those verdicts; exact responses
+take precedence over per-question blanket rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.judge.normalize import normalize_text
+
+
+class ManualCheckRegistry:
+    """Verdict overrides recorded by annotators."""
+
+    def __init__(self) -> None:
+        self._exact: Dict[Tuple[str, str], bool] = {}
+        self._rules: Dict[str, Callable[[str], Optional[bool]]] = {}
+
+    def record(self, qid: str, response: str, correct: bool) -> None:
+        """Record a verdict for one exact (question, response) pair."""
+        self._exact[(qid, normalize_text(response))] = correct
+
+    def record_rule(self, qid: str,
+                    rule: Callable[[str], Optional[bool]]) -> None:
+        """Register a per-question rule: response -> verdict or ``None``."""
+        self._rules[qid] = rule
+
+    def lookup(self, qid: str, response: str) -> Optional[bool]:
+        """The recorded verdict, if any."""
+        key = (qid, normalize_text(response))
+        if key in self._exact:
+            return self._exact[key]
+        rule = self._rules.get(qid)
+        if rule is not None:
+            return rule(response)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._rules)

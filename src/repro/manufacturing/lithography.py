@@ -1,0 +1,110 @@
+"""Optical lithography: resolution, depth of focus, RET identification.
+
+Implements the Rayleigh scaling relations and the resolution-enhancement
+technique (RET) vocabulary — OPC, sub-resolution assist features, phase
+shift masks, off-axis illumination — behind the paper's Manufacturing
+sample question ("What is the lithography resolution enhancement technique
+depicted in the figure?").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def rayleigh_resolution(k1: float, wavelength_nm: float, na: float) -> float:
+    """Minimum half-pitch: R = k1 * lambda / NA (nm)."""
+    if k1 <= 0 or wavelength_nm <= 0 or na <= 0:
+        raise ValueError("all parameters must be positive")
+    return k1 * wavelength_nm / na
+
+
+def depth_of_focus(k2: float, wavelength_nm: float, na: float) -> float:
+    """DOF = k2 * lambda / NA^2 (nm)."""
+    if k2 <= 0 or wavelength_nm <= 0 or na <= 0:
+        raise ValueError("all parameters must be positive")
+    return k2 * wavelength_nm / (na * na)
+
+
+def k1_from_pitch(half_pitch_nm: float, wavelength_nm: float,
+                  na: float) -> float:
+    """The k1 factor implied by printing a given half-pitch."""
+    if half_pitch_nm <= 0:
+        raise ValueError("half pitch must be positive")
+    return half_pitch_nm * na / wavelength_nm
+
+
+K1_PHYSICAL_LIMIT = 0.25  # single-exposure coherent imaging limit
+
+
+def requires_double_patterning(half_pitch_nm: float, wavelength_nm: float,
+                               na: float) -> bool:
+    """True when the implied k1 falls below the single-exposure limit."""
+    return k1_from_pitch(half_pitch_nm, wavelength_nm, na) < K1_PHYSICAL_LIMIT
+
+
+class Ret(enum.Enum):
+    """Resolution enhancement techniques."""
+
+    OPC = "optical proximity correction"
+    SRAF = "sub-resolution assist features"
+    PSM = "phase shift mask"
+    OAI = "off-axis illumination"
+    DOUBLE_PATTERNING = "double patterning"
+
+
+@dataclass(frozen=True)
+class MaskFeatures:
+    """Structural description of a mask figure, for RET identification."""
+
+    has_edge_jogs: bool = False          # serifs / hammerheads on corners
+    has_isolated_scatter_bars: bool = False
+    has_phase_regions: bool = False
+    split_into_two_masks: bool = False
+
+
+def identify_ret(features: MaskFeatures) -> Ret:
+    """Which RET a mask figure depicts, by its structural signature."""
+    if features.split_into_two_masks:
+        return Ret.DOUBLE_PATTERNING
+    if features.has_phase_regions:
+        return Ret.PSM
+    if features.has_isolated_scatter_bars:
+        return Ret.SRAF
+    if features.has_edge_jogs:
+        return Ret.OPC
+    return Ret.OAI
+
+
+def mask_error_enhancement_factor(cd_wafer_delta: float,
+                                  cd_mask_delta: float,
+                                  magnification: float = 4.0) -> float:
+    """MEEF = (d CD_wafer / d CD_mask) * M."""
+    if cd_mask_delta == 0:
+        raise ValueError("mask CD delta must be non-zero")
+    return (cd_wafer_delta / cd_mask_delta) * magnification
+
+
+def exposure_latitude_percent(dose_max: float, dose_min: float) -> float:
+    """EL = (dose_max - dose_min) / dose_nominal * 100, nominal = mean."""
+    if dose_max <= dose_min:
+        raise ValueError("dose window is empty")
+    nominal = (dose_max + dose_min) / 2.0
+    return (dose_max - dose_min) / nominal * 100.0
+
+
+def euv_vs_duv_resolution(na_euv: float = 0.33, na_duv: float = 1.35,
+                          k1: float = 0.35) -> Tuple[float, float]:
+    """Half-pitch (nm) at EUV (13.5 nm) vs immersion DUV (193 nm)."""
+    return (rayleigh_resolution(k1, 13.5, na_euv),
+            rayleigh_resolution(k1, 193.0, na_duv))
+
+
+def line_edge_roughness_budget(cd_nm: float, fraction: float = 0.1) -> float:
+    """A common LER budget: a fixed fraction of CD (3-sigma, nm)."""
+    if cd_nm <= 0 or not 0 < fraction < 1:
+        raise ValueError("bad CD or fraction")
+    return cd_nm * fraction

@@ -1,0 +1,121 @@
+"""Statistical process control: control charts and process capability.
+
+Fab lines run on SPC; questions about X-bar/R charts, Western Electric
+rules, and Cp/Cpk are standard manufacturing-course material.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Control-chart constants by subgroup size n (Shewhart tables).
+_A2 = {2: 1.880, 3: 1.023, 4: 0.729, 5: 0.577, 6: 0.483, 7: 0.419,
+       8: 0.373, 9: 0.337, 10: 0.308}
+_D3 = {2: 0.0, 3: 0.0, 4: 0.0, 5: 0.0, 6: 0.0, 7: 0.076, 8: 0.136,
+       9: 0.184, 10: 0.223}
+_D4 = {2: 3.267, 3: 2.574, 4: 2.282, 5: 2.114, 6: 2.004, 7: 1.924,
+       8: 1.864, 9: 1.816, 10: 1.777}
+_D2 = {2: 1.128, 3: 1.693, 4: 2.059, 5: 2.326, 6: 2.534, 7: 2.704,
+       8: 2.847, 9: 2.970, 10: 3.078}
+
+
+@dataclass(frozen=True)
+class ControlLimits:
+    center: float
+    lcl: float
+    ucl: float
+
+    def contains(self, value: float) -> bool:
+        return self.lcl <= value <= self.ucl
+
+
+def _validate_subgroups(subgroups: Sequence[Sequence[float]]) -> int:
+    if not subgroups:
+        raise ValueError("no subgroups")
+    n = len(subgroups[0])
+    if n < 2 or n > 10:
+        raise ValueError("subgroup size must be 2..10")
+    if any(len(group) != n for group in subgroups):
+        raise ValueError("ragged subgroups")
+    return n
+
+
+def xbar_limits(subgroups: Sequence[Sequence[float]]) -> ControlLimits:
+    """X-bar chart limits: grand mean +- A2 * mean range."""
+    n = _validate_subgroups(subgroups)
+    means = [sum(g) / n for g in subgroups]
+    ranges = [max(g) - min(g) for g in subgroups]
+    grand = sum(means) / len(means)
+    r_bar = sum(ranges) / len(ranges)
+    margin = _A2[n] * r_bar
+    return ControlLimits(grand, grand - margin, grand + margin)
+
+
+def r_limits(subgroups: Sequence[Sequence[float]]) -> ControlLimits:
+    """Range-chart limits: D3/D4 times the mean range."""
+    n = _validate_subgroups(subgroups)
+    ranges = [max(g) - min(g) for g in subgroups]
+    r_bar = sum(ranges) / len(ranges)
+    return ControlLimits(r_bar, _D3[n] * r_bar, _D4[n] * r_bar)
+
+
+def estimated_sigma(subgroups: Sequence[Sequence[float]]) -> float:
+    """Within-subgroup sigma estimate: R-bar / d2."""
+    n = _validate_subgroups(subgroups)
+    ranges = [max(g) - min(g) for g in subgroups]
+    return (sum(ranges) / len(ranges)) / _D2[n]
+
+
+def out_of_control_points(values: Sequence[float],
+                          limits: ControlLimits) -> List[int]:
+    """Indices violating Western Electric rule 1 (beyond 3-sigma limits)."""
+    return [i for i, v in enumerate(values) if not limits.contains(v)]
+
+
+def run_rule_violations(values: Sequence[float], center: float,
+                        run_length: int = 8) -> List[int]:
+    """Western Electric rule 4: ``run_length`` consecutive points on one
+    side of the centre line.  Returns the index ending each violating run."""
+    if run_length < 2:
+        raise ValueError("run length must be >= 2")
+    violations: List[int] = []
+    streak_sign = 0
+    streak = 0
+    for index, value in enumerate(values):
+        sign = 1 if value > center else (-1 if value < center else 0)
+        if sign != 0 and sign == streak_sign:
+            streak += 1
+        else:
+            streak_sign = sign
+            streak = 1 if sign != 0 else 0
+        if streak >= run_length:
+            violations.append(index)
+    return violations
+
+
+def cp(usl: float, lsl: float, sigma: float) -> float:
+    """Process capability: (USL - LSL) / 6 sigma."""
+    if usl <= lsl:
+        raise ValueError("USL must exceed LSL")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    return (usl - lsl) / (6.0 * sigma)
+
+
+def cpk(usl: float, lsl: float, mean: float, sigma: float) -> float:
+    """Centred capability: min((USL-mean), (mean-LSL)) / 3 sigma."""
+    if usl <= lsl:
+        raise ValueError("USL must exceed LSL")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    return min(usl - mean, mean - lsl) / (3.0 * sigma)
+
+
+def defect_ppm(cpk_value: float) -> float:
+    """One-sided defect rate in PPM implied by a Cpk (normal model)."""
+    z = 3.0 * cpk_value
+    # complementary normal CDF via erfc
+    tail = 0.5 * math.erfc(z / math.sqrt(2.0))
+    return tail * 1e6

@@ -1,0 +1,119 @@
+"""Quota-IRT calibration: deterministic outcome realisation per category.
+
+Real model weights are unobtainable offline, so the zero-shot numbers of
+Table II are reproduced by *calibrated replay*: each simulated model
+carries the per-discipline pass rates the paper measured, and outcomes are
+realised deterministically so that the aggregate matches the calibration
+while *which* questions are answered correctly still depends on real
+question difficulty and real image legibility:
+
+1. every (model, question) pair gets an **aptitude score**
+   ``sigmoid(ability - difficulty) * perception + jitter``;
+2. within each category the model answers correctly exactly the
+   ``round(rate * n)`` questions of highest aptitude (the *quota*);
+3. degraded perception (the resolution study) scales the quota down via
+   :func:`repro.models.encoder.rate_scaling` and re-ranks by the degraded
+   aptitude, so hard-to-see figures flip first.
+
+See DESIGN.md section 4 for the rationale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.question import Category, Question
+
+
+def sigmoid(x: float) -> float:
+    """The logistic function."""
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+def jitter(model_name: str, qid: str, scale: float = 0.05) -> float:
+    """Deterministic per-(model, question) noise in [0, scale)."""
+    digest = hashlib.sha256(f"{model_name}|{qid}".encode("utf-8")).digest()
+    return scale * int.from_bytes(digest[:4], "big") / 2 ** 32
+
+
+def aptitude(model_name: str, ability: float, question: Question,
+             perception: float, discrimination: float = 4.0) -> float:
+    """Latent probability-like score that this model solves this question."""
+    if not 0.0 <= perception <= 1.0:
+        raise ValueError("perception must be in [0, 1]")
+    base = sigmoid(discrimination * (ability - question.difficulty))
+    return base * perception + jitter(model_name, question.qid)
+
+
+def quota(rate: float, n: int) -> int:
+    """Number of correct answers realising ``rate`` over ``n`` questions."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be a probability")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return min(n, int(round(rate * n)))
+
+
+@dataclass(frozen=True)
+class OutcomePlan:
+    """Planned correctness per question id."""
+
+    correct_qids: frozenset
+
+    def is_correct(self, qid: str) -> bool:
+        return qid in self.correct_qids
+
+
+def plan_outcomes(
+    model_name: str,
+    abilities: Mapping[Category, float],
+    rates: Mapping[Category, float],
+    questions: Sequence[Question],
+    perceptions: Mapping[str, float],
+    rate_multiplier: Mapping[Category, float] = None,
+) -> OutcomePlan:
+    """Realise per-category quotas over a question set.
+
+    ``perceptions`` maps qid -> perception score in [0, 1];
+    ``rate_multiplier`` optionally scales each category's calibrated rate
+    (the resolution study passes the perception-derived multiplier here).
+    """
+    correct: set = set()
+    by_category: Dict[Category, List[Question]] = {}
+    for question in questions:
+        by_category.setdefault(question.category, []).append(question)
+    for category, members in by_category.items():
+        rate = rates.get(category, 0.0)
+        if rate_multiplier:
+            rate = rate * rate_multiplier.get(category, 1.0)
+        k = quota(rate, len(members))
+        if k == 0:
+            continue
+        ability = abilities.get(category, 0.5)
+        scored = sorted(
+            members,
+            key=lambda q: (
+                -aptitude(model_name, ability, q,
+                          perceptions.get(q.qid, 1.0)),
+                q.qid,
+            ),
+        )
+        correct.update(q.qid for q in scored[:k])
+    return OutcomePlan(correct_qids=frozenset(correct))
+
+
+def abilities_from_rates(rates: Mapping[Category, float],
+                         floor: float = 0.15) -> Dict[Category, float]:
+    """Latent abilities implied by observed pass rates.
+
+    A monotone map placing ability near the rate (plus a floor) — only the
+    *ordering* of aptitudes matters for quota realisation, so any monotone
+    map works; this one keeps abilities interpretable.
+    """
+    return {
+        category: max(floor, min(1.0, rate))
+        for category, rate in rates.items()
+    }

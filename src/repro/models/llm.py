@@ -1,0 +1,100 @@
+"""Simulated LLM backbone: text ability plus answer surface generation.
+
+The backbone carries the text-processing capability that — per the paper's
+LLaVA case study — dominates VQA performance, and it is responsible for
+*how* answers are phrased: correct answers come out as paraphrases of the
+gold (letter answers, re-worded phrases, unit changes, re-ordered boolean
+terms), incorrect answers as plausible distractors.  That phrasing matters:
+it is what exercises the judge pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.question import AnswerKind, Question
+from repro.judge.normalize import numbers_in
+
+
+def _stable_choice(options: List[str], *keys: str) -> str:
+    """Deterministically pick one option from string keys (process-stable)."""
+    digest = hashlib.sha256("|".join(keys).encode("utf-8")).digest()
+    return options[digest[0] % len(options)]
+
+
+@dataclass(frozen=True)
+class LlmBackbone:
+    """A language model with a scalar text-capability score."""
+
+    name: str
+    params_billion: float
+    text_ability: float  # in (0, 1]; calibrated against public LLM evals
+
+    def __post_init__(self) -> None:
+        if self.params_billion <= 0:
+            raise ValueError("parameter count must be positive")
+        if not 0.0 < self.text_ability <= 1.0:
+            raise ValueError("text ability must be in (0, 1]")
+
+    # -- answer phrasing ------------------------------------------------------
+
+    def phrase_correct(self, question: Question, seed: str = "") -> str:
+        """A correct response, paraphrased the way a model would write it."""
+        if question.is_multiple_choice:
+            letter = question.gold_letter
+            text = question.gold_text
+            return _stable_choice(
+                [letter,
+                 f"{letter})",
+                 f"({letter.lower()})",
+                 f"The answer is {letter}.",
+                 f"{letter}) {text}"],
+                self.name, question.qid, "correct", seed)
+        gold = question.answer.text
+        variants = [gold, f"The answer is {gold}.", f"{gold}."]
+        if question.answer.kind is AnswerKind.NUMERIC and question.answer.unit:
+            numbers = numbers_in(gold)
+            if numbers:
+                value = numbers[0]
+                variants.append(f"{value:g} {question.answer.unit}")
+                variants.append(f"approximately {gold}")
+        if question.answer.aliases:
+            variants.extend(question.answer.aliases[:2])
+        return _stable_choice(variants, self.name, question.qid,
+                              "correct", seed)
+
+    def phrase_incorrect(self, question: Question, seed: str = "") -> str:
+        """A plausible wrong response."""
+        if question.is_multiple_choice:
+            wrong = [
+                "ABCD"[i] for i in range(4) if i != question.correct_choice
+            ]
+            letter = _stable_choice(wrong, self.name, question.qid,
+                                    "wrong", seed)
+            return _stable_choice(
+                [letter, f"{letter})", f"The answer is {letter}."],
+                self.name, question.qid, "wrong-phrase", seed)
+        gold = question.answer.text
+        numbers = numbers_in(gold)
+        if numbers and question.answer.kind is AnswerKind.NUMERIC:
+            value = numbers[0]
+            factor = _stable_choice(["2", "0.5", "10", "0.1"],
+                                    self.name, question.qid, "wrong", seed)
+            wrong_value = value * float(factor)
+            unit = question.answer.unit
+            return f"{wrong_value:g} {unit}".strip()
+        return _stable_choice(
+            ["I am not certain from the figure.",
+             "It cannot be determined from the information given.",
+             "The figure does not show this clearly."],
+            self.name, question.qid, "wrong", seed)
+
+    def refuses(self, question: Question) -> bool:
+        """Very weak models occasionally emit empty/non-answers."""
+        if self.text_ability >= 0.3:
+            return False
+        digest = hashlib.sha256(
+            f"{self.name}|{question.qid}|refuse".encode()).digest()
+        return digest[0] < 16  # ~6% of questions

@@ -1,0 +1,39 @@
+"""Projection unit: visual embedding -> LLM token space (Fig. 2, middle).
+
+In a real VLM the projector is an MLP mapping encoder features into the
+language model's embedding space.  In the simulation it is the component
+that fixes how many visual tokens reach the LLM and applies an alignment
+quality factor (poorly aligned projectors lose information even when the
+encoder saw the figure clearly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Projector:
+    """Linear/MLP projection with an alignment-quality factor."""
+
+    name: str = "mlp2x"
+    tokens_out: int = 576
+    alignment: float = 1.0  # visual-text alignment quality in (0, 1]
+
+    def __post_init__(self) -> None:
+        if self.tokens_out <= 0:
+            raise ValueError("token count must be positive")
+        if not 0.0 < self.alignment <= 1.0:
+            raise ValueError("alignment must be in (0, 1]")
+
+    def project(self, perception: float) -> float:
+        """Effective visual information handed to the LLM."""
+        if not 0.0 <= perception <= 1.0:
+            raise ValueError("perception must be in [0, 1]")
+        return perception * self.alignment
+
+    def token_budget(self, image_count: int) -> int:
+        """Visual tokens consumed by a question's images."""
+        if image_count < 0:
+            raise ValueError("image count must be non-negative")
+        return self.tokens_out * image_count

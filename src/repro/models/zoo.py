@@ -1,0 +1,134 @@
+"""The model zoo: the twelve VLMs of Table II, plus the agent's components.
+
+Each entry couples the architectural metadata of the real model (backbone,
+parameter count, encoder input resolution, system-prompt support — from the
+models' public cards) with the per-discipline calibration rates measured in
+Table II of the paper.  Rates are (Digital, Analog, Architecture,
+Manufacture, Physical) in that order, for the with-choice and no-choice
+settings respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.question import Category
+from repro.models.encoder import VisualEncoder
+from repro.models.llm import LlmBackbone
+from repro.models.projector import Projector
+from repro.models.vlm import CalibrationTable, SimulatedVLM
+
+_CATS = (Category.DIGITAL, Category.ANALOG, Category.ARCHITECTURE,
+         Category.MANUFACTURING, Category.PHYSICAL)
+
+
+def _rates(values: Tuple[float, ...]) -> Dict[Category, float]:
+    if len(values) != 5:
+        raise ValueError("need exactly five per-category rates")
+    return dict(zip(_CATS, values))
+
+
+#: name -> (backbone name, params B, text ability, encoder px, sysprompt,
+#:          with-choice rates, no-choice rates)   [Table II]
+_ZOO_SPECS = {
+    "llava-7b": (
+        "vicuna-7b", 7.0, 0.42, 336, True,
+        (0.37, 0.20, 0.20, 0.05, 0.22), (0.03, 0.00, 0.10, 0.05, 0.09)),
+    "llava-13b": (
+        "vicuna-13b", 13.0, 0.48, 336, True,
+        (0.23, 0.16, 0.25, 0.10, 0.17), (0.00, 0.02, 0.20, 0.15, 0.04)),
+    "llava-34b": (
+        "yi-34b", 34.0, 0.62, 336, True,
+        (0.26, 0.32, 0.20, 0.15, 0.22), (0.06, 0.05, 0.10, 0.15, 0.17)),
+    "llava-llama-3": (
+        "llama-3-8b", 8.0, 0.58, 336, True,
+        (0.37, 0.18, 0.30, 0.20, 0.22), (0.03, 0.00, 0.15, 0.05, 0.13)),
+    "neva-22b": (
+        "nemo-22b", 22.0, 0.52, 336, True,
+        (0.37, 0.23, 0.15, 0.05, 0.22), (0.03, 0.07, 0.10, 0.20, 0.04)),
+    "fuyu-8b": (
+        "fuyu-8b", 8.0, 0.38, 300, True,
+        (0.11, 0.30, 0.10, 0.05, 0.13), (0.00, 0.00, 0.05, 0.05, 0.13)),
+    "paligemma": (
+        "gemma-2b", 2.9, 0.30, 224, False,
+        (0.03, 0.07, 0.15, 0.20, 0.04), (0.03, 0.00, 0.05, 0.05, 0.04)),
+    "kosmos-2": (
+        "kosmos-1.6b", 1.6, 0.22, 224, False,
+        (0.06, 0.00, 0.05, 0.05, 0.00), (0.03, 0.02, 0.00, 0.05, 0.09)),
+    "phi3-vision": (
+        "phi-3-mini", 4.2, 0.55, 336, True,
+        (0.29, 0.18, 0.10, 0.10, 0.30), (0.09, 0.05, 0.00, 0.15, 0.17)),
+    "vila-yi-34b": (
+        "yi-34b", 34.0, 0.64, 336, True,
+        (0.43, 0.36, 0.30, 0.05, 0.17), (0.06, 0.02, 0.25, 0.00, 0.22)),
+    "llama-3.2-90b": (
+        "llama-3.2-90b", 90.0, 0.74, 560, True,
+        (0.37, 0.25, 0.15, 0.35, 0.48), (0.06, 0.09, 0.10, 0.35, 0.39)),
+    "gpt-4o": (
+        "gpt-4o", 200.0, 0.85, 768, True,
+        (0.49, 0.51, 0.30, 0.20, 0.61), (0.17, 0.09, 0.15, 0.30, 0.48)),
+}
+
+#: Display order and labels of Table II rows.
+TABLE2_ROW_ORDER = [
+    ("llava-7b", "LLaVA-7b"),
+    ("llava-13b", "LLaVA-13b"),
+    ("llava-34b", "LLaVA-34b"),
+    ("llava-llama-3", "LLaVA-LLaMa-3"),
+    ("neva-22b", "NeVA-22b"),
+    ("fuyu-8b", "fuyu-8b"),
+    ("paligemma", "paligemma"),
+    ("kosmos-2", "kosmos-2"),
+    ("phi3-vision", "phi3-vision"),
+    ("vila-yi-34b", "VILA-Yi-34B"),
+    ("llama-3.2-90b", "LLaMA-3.2-90B"),
+    ("gpt-4o", "GPT4o"),
+]
+
+#: The LLaVA backbone case study of Section IV-A.
+LLAVA_BACKBONE_STUDY = [
+    ("llava-7b", "Mistral/Vicuna-7b"),
+    ("llava-13b", "Vicuna-13b"),
+    ("llava-llama-3", "LLaMa-3-8b"),
+    ("llava-34b", "Yi-34b"),
+]
+
+
+def model_names() -> List[str]:
+    """Zoo model names in Table II display order."""
+    return [name for name, _ in TABLE2_ROW_ORDER]
+
+
+def build_model(name: str) -> SimulatedVLM:
+    """Instantiate one calibrated model by zoo name."""
+    try:
+        spec = _ZOO_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(_ZOO_SPECS)}") from None
+    (backbone_name, params_b, ability, encoder_px, sysprompt,
+     with_choice, no_choice) = spec
+    encoder = VisualEncoder(name=f"{name}-encoder",
+                            input_resolution=encoder_px,
+                            quality=min(1.0, 0.6 + ability / 2))
+    projector = Projector(name=f"{name}-proj",
+                          alignment=min(1.0, 0.7 + ability / 3))
+    backbone = LlmBackbone(name=backbone_name, params_billion=params_b,
+                           text_ability=ability)
+    calibration = CalibrationTable(with_choice=_rates(with_choice),
+                                   no_choice=_rates(no_choice))
+    return SimulatedVLM(name=name, encoder=encoder, projector=projector,
+                        backbone=backbone, calibration=calibration,
+                        supports_system_prompt=sysprompt)
+
+
+def build_zoo() -> List[SimulatedVLM]:
+    """All twelve Table II models in display order."""
+    return [build_model(name) for name, _ in TABLE2_ROW_ORDER]
+
+
+def paper_rates(name: str, setting: str) -> Dict[Category, float]:
+    """The Table II calibration rates for a model (for tests/benches)."""
+    spec = _ZOO_SPECS[name]
+    values = spec[5] if setting == "with_choice" else spec[6]
+    return _rates(values)

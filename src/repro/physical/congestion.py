@@ -1,0 +1,99 @@
+"""Routing-congestion estimation: RUDY maps and overflow metrics.
+
+RUDY (Rectangular Uniform wire DensitY) spreads each net's expected
+wirelength uniformly over its bounding box — the standard fast congestion
+estimator used between placement and routing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.physical.geometry import Point, bounding_box, hpwl
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Summary of a congestion map against a routing capacity."""
+
+    peak: float
+    mean: float
+    overflow_fraction: float  # fraction of bins above capacity
+
+    def routable(self, safety: float = 1.0) -> bool:
+        return self.overflow_fraction == 0.0 and self.peak <= safety
+
+
+def rudy_map(nets: Sequence[Sequence[Point]], region: Tuple[float, float],
+             bins: Tuple[int, int] = (16, 16),
+             wire_width: float = 1.0) -> np.ndarray:
+    """RUDY congestion map over a ``region`` = (width, height).
+
+    Each net contributes ``hpwl * wire_width / box_area`` demand density,
+    spread over the bins its bounding box covers.  Degenerate (single-bin)
+    nets deposit their demand into the enclosing bin.
+    """
+    width, height = region
+    nx, ny = bins
+    if width <= 0 or height <= 0 or nx < 1 or ny < 1:
+        raise ValueError("bad region or bin counts")
+    grid = np.zeros((ny, nx))
+    bin_w = width / nx
+    bin_h = height / ny
+    for net in nets:
+        if len(net) < 2:
+            continue
+        box = bounding_box(net)
+        demand = hpwl(net) * wire_width
+        x0 = max(0, min(nx - 1, int(box.x / bin_w)))
+        x1 = max(x0, min(nx - 1, int(math.ceil(box.x2 / bin_w)) - 1))
+        y0 = max(0, min(ny - 1, int(box.y / bin_h)))
+        y1 = max(y0, min(ny - 1, int(math.ceil(box.y2 / bin_h)) - 1))
+        n_bins = (x1 - x0 + 1) * (y1 - y0 + 1)
+        grid[y0:y1 + 1, x0:x1 + 1] += demand / n_bins
+    return grid
+
+
+def report(congestion: np.ndarray, capacity: float) -> CongestionReport:
+    """Peak/mean utilisation and overflow fraction at a bin capacity."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    utilisation = congestion / capacity
+    return CongestionReport(
+        peak=float(utilisation.max()),
+        mean=float(utilisation.mean()),
+        overflow_fraction=float((utilisation > 1.0).mean()),
+    )
+
+
+def hotspots(congestion: np.ndarray, capacity: float,
+             top: int = 3) -> List[Tuple[int, int, float]]:
+    """The ``top`` most-utilised bins as (row, col, utilisation)."""
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    utilisation = congestion / capacity
+    flat = [(float(utilisation[r, c]), r, c)
+            for r in range(utilisation.shape[0])
+            for c in range(utilisation.shape[1])]
+    flat.sort(reverse=True)
+    return [(r, c, u) for u, r, c in flat[:top]]
+
+
+def spread_cells(nets: Sequence[Sequence[Point]], region: Tuple[float, float],
+                 factor: float) -> List[List[Point]]:
+    """Scale all pin coordinates about the region centre (whitespace
+    injection) — the classic congestion-relief move."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    cx, cy = region[0] / 2.0, region[1] / 2.0
+    spread: List[List[Point]] = []
+    for net in nets:
+        spread.append([
+            Point(cx + (p.x - cx) * factor, cy + (p.y - cy) * factor)
+            for p in net
+        ])
+    return spread

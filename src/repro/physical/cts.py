@@ -1,0 +1,121 @@
+"""Clock-tree synthesis: H-trees, skew analysis, useful skew, buffering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.physical.geometry import Point
+
+
+@dataclass(frozen=True)
+class ClockSink:
+    name: str
+    location: Point
+    insertion_delay: float  # source-to-sink latency, ns
+
+
+def skew(sinks: Sequence[ClockSink]) -> float:
+    """Global skew: max minus min insertion delay."""
+    if not sinks:
+        raise ValueError("no sinks")
+    delays = [s.insertion_delay for s in sinks]
+    return max(delays) - min(delays)
+
+
+def local_skew(a: ClockSink, b: ClockSink) -> float:
+    """Signed skew between two specific sinks."""
+    return a.insertion_delay - b.insertion_delay
+
+
+def h_tree_levels(n_sinks: int) -> int:
+    """Levels of a balanced H-tree serving ``n_sinks`` (power of 4)."""
+    if n_sinks < 1:
+        raise ValueError("need at least one sink")
+    levels = 0
+    while 4 ** levels < n_sinks:
+        levels += 1
+    return levels
+
+
+def h_tree_wirelength(chip_side: float, levels: int) -> float:
+    """Total wirelength of an H-tree over a square die.
+
+    Level 1 is one 'H' of total length 2 * side/2 + side/2 ... modelled
+    recursively: each level adds 4^(k-1) H-shapes of size side / 2^(k-1),
+    each H contributing 1.5x its span.
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    total = 0.0
+    for k in range(1, levels + 1):
+        span = chip_side / (2 ** (k - 1))
+        total += (4 ** (k - 1)) * 1.5 * span
+    return total
+
+
+def h_tree_sink_delay_balanced(chip_side: float, levels: int,
+                               delay_per_unit: float) -> float:
+    """Source-to-sink wire delay of an ideal H-tree (identical all sinks).
+
+    Path length halves per level: side/2 + side/4 + ... over ``levels``.
+    """
+    length = sum(chip_side / (2 ** k) for k in range(1, levels + 1))
+    return length * delay_per_unit
+
+
+def setup_slack(clock_period: float, data_arrival: float,
+                setup_time: float, capture_skew: float = 0.0) -> float:
+    """Setup slack = T + skew(capture - launch) - arrival - t_setup."""
+    return clock_period + capture_skew - data_arrival - setup_time
+
+
+def hold_slack(data_arrival: float, hold_time: float,
+               capture_skew: float = 0.0) -> float:
+    """Hold slack = arrival - skew - t_hold (same-edge check)."""
+    return data_arrival - capture_skew - hold_time
+
+
+def min_period(data_arrival: float, setup_time: float,
+               capture_skew: float = 0.0) -> float:
+    """Smallest clock period with non-negative setup slack."""
+    return data_arrival + setup_time - capture_skew
+
+
+def useful_skew_gain(path_delays: Sequence[float]) -> float:
+    """Period reduction available by skewing registers (retiming bound).
+
+    With arbitrary intentional skew the achievable period approaches the
+    *average* stage delay instead of the maximum; the gain is the
+    difference.
+    """
+    if not path_delays:
+        raise ValueError("no paths")
+    return max(path_delays) - sum(path_delays) / len(path_delays)
+
+
+def buffers_needed(total_cap_ff: float, drive_cap_ff: float) -> int:
+    """Buffers to drive a capacitive load within a per-buffer budget."""
+    if drive_cap_ff <= 0:
+        raise ValueError("drive capability must be positive")
+    if total_cap_ff < 0:
+        raise ValueError("load must be non-negative")
+    return max(1, math.ceil(total_cap_ff / drive_cap_ff))
+
+
+def elmore_delay(r_stages: Sequence[float],
+                 c_stages: Sequence[float]) -> float:
+    """Elmore delay of an RC ladder: sum_i R_upstream(i) * C_i.
+
+    ``r_stages[i]`` is the resistance of segment i (source side first),
+    ``c_stages[i]`` the capacitance at its downstream node.
+    """
+    if len(r_stages) != len(c_stages):
+        raise ValueError("mismatched RC stage lists")
+    delay = 0.0
+    upstream = 0.0
+    for r, c in zip(r_stages, c_stages):
+        upstream += r
+        delay += upstream * c
+    return delay

@@ -1,0 +1,138 @@
+"""Rectilinear routing trees: spanning trees, Steiner approximation, costs.
+
+Implements the routing-cost machinery behind the paper's Physical Design
+example ("calculate the routing costs for the 2 diagrams and determine
+which routing topology has lower cost"): rectilinear minimum spanning trees
+(Prim), a Hanan-grid Steiner improvement pass, explicit-topology cost
+evaluation, and HPWL lower bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.physical.geometry import Point, hpwl
+
+
+Edge = Tuple[int, int]
+
+
+def tree_cost(points: Sequence[Point], edges: Sequence[Edge]) -> float:
+    """Total Manhattan length of an explicit tree topology."""
+    return sum(points[a].manhattan(points[b]) for a, b in edges)
+
+
+def is_spanning_tree(n_points: int, edges: Sequence[Edge]) -> bool:
+    """Connected + acyclic over ``n_points`` vertices."""
+    if len(edges) != n_points - 1:
+        return False
+    parent = list(range(n_points))
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for a, b in edges:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent[ra] = rb
+    return True
+
+
+def rmst(points: Sequence[Point]) -> List[Edge]:
+    """Rectilinear minimum spanning tree via Prim's algorithm."""
+    n = len(points)
+    if n == 0:
+        raise ValueError("no points")
+    if n == 1:
+        return []
+    in_tree = {0}
+    edges: List[Edge] = []
+    best: Dict[int, Tuple[float, int]] = {
+        i: (points[0].manhattan(points[i]), 0) for i in range(1, n)
+    }
+    while len(in_tree) < n:
+        nxt = min(best, key=lambda i: (best[i][0], i))
+        dist, src = best.pop(nxt)
+        in_tree.add(nxt)
+        edges.append((src, nxt))
+        for i in list(best):
+            d = points[nxt].manhattan(points[i])
+            if d < best[i][0]:
+                best[i] = (d, nxt)
+    return edges
+
+
+def rmst_cost(points: Sequence[Point]) -> float:
+    """Total wirelength of the rectilinear MST."""
+    return tree_cost(points, rmst(points))
+
+
+def hanan_points(points: Sequence[Point]) -> List[Point]:
+    """The Hanan grid: intersections of x/y coordinates of the terminals."""
+    xs = sorted({p.x for p in points})
+    ys = sorted({p.y for p in points})
+    terminals = set(points)
+    return [Point(x, y) for x in xs for y in ys
+            if Point(x, y) not in terminals]
+
+
+def steiner_cost(points: Sequence[Point], max_extra: int = 2) -> float:
+    """Approximate RSMT cost: RMST improved by adding up to ``max_extra``
+    Hanan-grid Steiner points greedily (1-Steiner heuristic).
+
+    Exact for the small nets benchmark questions use; never worse than the
+    RMST cost by construction.
+    """
+    current_points = list(points)
+    current_cost = rmst_cost(current_points)
+    for _ in range(max_extra):
+        candidates = hanan_points(current_points)
+        best_cost = current_cost
+        best_point = None
+        for candidate in candidates:
+            trial = current_points + [candidate]
+            cost = rmst_cost(trial)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_point = candidate
+        if best_point is None:
+            break
+        current_points.append(best_point)
+        current_cost = best_cost
+    return current_cost
+
+
+def hpwl_lower_bound(points: Sequence[Point]) -> float:
+    """HPWL is a lower bound on any rectilinear Steiner tree."""
+    return hpwl(points)
+
+
+def compare_topologies(points: Sequence[Point],
+                       topo_a: Sequence[Edge],
+                       topo_b: Sequence[Edge]) -> Tuple[float, float, str]:
+    """Costs of two explicit topologies and which is cheaper ('A'/'B'/'tie')."""
+    for name, topo in (("A", topo_a), ("B", topo_b)):
+        if not is_spanning_tree(len(points), list(topo)):
+            raise ValueError(f"topology {name} is not a spanning tree")
+    cost_a = tree_cost(points, topo_a)
+    cost_b = tree_cost(points, topo_b)
+    if abs(cost_a - cost_b) < 1e-12:
+        winner = "tie"
+    else:
+        winner = "A" if cost_a < cost_b else "B"
+    return cost_a, cost_b, winner
+
+
+def star_topology(points: Sequence[Point], root: int = 0) -> List[Edge]:
+    """All sinks connected directly to ``root``."""
+    return [(root, i) for i in range(len(points)) if i != root]
+
+
+def chain_topology(points: Sequence[Point]) -> List[Edge]:
+    """Points connected in index order."""
+    return [(i, i + 1) for i in range(len(points) - 1)]

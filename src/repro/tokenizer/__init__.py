@@ -1,0 +1,12 @@
+"""A small deterministic tokenizer used for prompt-length statistics.
+
+The paper reports prompt token-length statistics (Table I) computed with the
+evaluated models' tokenizers.  Offline we provide :class:`WordPieceTokenizer`,
+a self-contained greedy sub-word tokenizer with a fixed vocabulary of common
+English and chip-design sub-words, so token counts are reproducible across
+machines and runs.
+"""
+
+from repro.tokenizer.bpe import WordPieceTokenizer, default_tokenizer
+
+__all__ = ["WordPieceTokenizer", "default_tokenizer"]

@@ -1,0 +1,198 @@
+"""Greedy word-piece tokenizer with a fixed, code-defined vocabulary.
+
+The tokenizer splits text on whitespace and punctuation, then greedily
+matches the longest known sub-word at each position (the classic WordPiece
+inference algorithm).  Unknown spans fall back to character tokens, so every
+string tokenizes and ``detokenize(tokenize(s))`` preserves the word sequence.
+
+The vocabulary is intentionally small: a few hundred frequent English
+sub-words plus chip-design terms that occur in ChipVQA prompts.  What matters
+for the benchmark statistics is determinism and a realistic ~0.75 words/token
+ratio, not linguistic fidelity.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence
+
+_WORD_RE = re.compile(r"[A-Za-z]+|[0-9]+|[^\sA-Za-z0-9]")
+
+# Frequent English sub-words (roots, prefixes, suffixes) plus domain terms.
+_BASE_VOCAB = [
+    # whole common words
+    "the", "a", "an", "of", "to", "in", "is", "are", "and", "or", "for",
+    "what", "which", "how", "when", "where", "why", "with", "without",
+    "given", "shown", "figure", "diagram", "circuit", "voltage", "current",
+    "signal", "gate", "logic", "state", "table", "answer", "question",
+    "design", "chip", "clock", "delay", "path", "cell", "layer", "mask",
+    "wafer", "etch", "rate", "time", "cache", "memory", "pipeline", "stage",
+    "branch", "address", "page", "bit", "bits", "byte", "bytes", "line",
+    "output", "input", "value", "unit", "units", "gain", "frequency",
+    "resistance", "capacitance", "transistor", "amplifier", "feedback",
+    "transfer", "function", "pole", "zero", "phase", "margin", "loop",
+    "routing", "placement", "timing", "skew", "tree", "net", "pin", "wire",
+    "area", "power", "ground", "assume", "calculate", "determine", "derive",
+    "compute", "select", "choose", "correct", "following", "respectively",
+    "total", "minimum", "maximum", "number", "shows", "depicted", "per",
+    "each", "two", "three", "four", "one", "if", "at", "on", "by", "from",
+    "as", "be", "it", "its", "this", "that", "these", "those", "has",
+    "have", "will", "can", "between", "across", "into", "through",
+    "resolution", "process", "node", "edge", "block", "module", "latency",
+    "cycle", "cycles", "instruction", "instructions", "miss", "hit",
+    "ratio", "width", "height", "length", "size", "speed", "technique",
+    "lithography", "enhancement", "structure", "substrate", "silicon",
+    "oxide", "metal", "poly", "via", "contact", "drain", "source",
+    "threshold", "channel", "region", "doping", "implant", "anneal",
+    # prefixes / roots
+    "pre", "post", "sub", "super", "inter", "intra", "multi", "semi",
+    "micro", "nano", "giga", "mega", "kilo", "milli", "over", "under",
+    "out", "up", "down", "non", "un", "re", "de", "dis", "mis", "trans",
+    "con", "com", "pro", "per", "ex", "en",
+    # suffixes (as continuation pieces)
+    "##s", "##es", "##ed", "##ing", "##er", "##ers", "##or", "##ors",
+    "##ion", "##ions", "##tion", "##ation", "##ment", "##ness", "##ity",
+    "##al", "##ial", "##ic", "##ical", "##ous", "##ive", "##able", "##ible",
+    "##ly", "##ful", "##less", "##est", "##ize", "##ise", "##ance", "##ence",
+    "##y", "##e", "##t", "##d", "##n", "##r", "##l", "##m", "##a", "##o",
+    "##i", "##u", "##c", "##g", "##h", "##p", "##b", "##f", "##k", "##v",
+    "##w", "##x", "##z", "##q", "##j",
+    # chip-design domain vocabulary (high-frequency words from the ChipVQA
+    # prompt corpus; a tokenizer trained on EDA text would carry these)
+    "kohm", "does", "many", "um", "nm", "ns", "gm", "using", "ms",
+    "sequence", "results", "ro", "required", "machine", "register", "add",
+    "load", "alu", "expression", "network", "sum", "tabulated", "first",
+    "same", "ideal", "beta", "end", "cm", "carry", "inputs", "pattern",
+    "level", "flip", "single", "closed", "mm", "data", "worst", "period",
+    "flop", "must", "sketched", "ff", "back", "ohm", "rd", "rs", "adc",
+    "step", "half", "reads", "sio", "microns", "row", "cells", "adder",
+    "minimal", "products", "only", "delays", "case", "levels", "map",
+    "states", "flops", "after", "rl", "drawn", "vin", "inverting", "rf",
+    "estimate", "dc", "device", "db", "ma", "vref", "bandwidth",
+    "topology", "execute", "dependent", "bolded", "immediately", "wide",
+    "access", "vector", "model", "min", "defect", "msb", "nand", "gates",
+    "xor", "counting", "receives", "comparator", "ring", "driven", "find",
+    "karnaugh", "serial", "right", "counter", "lines", "code", "error",
+    "connected", "ladder", "series", "uses", "op", "amp", "open", "unity",
+    "differential", "small", "neglect", "loaded", "five", "nmos",
+    "magnitude", "id", "residue", "rc", "before", "most", "factor",
+    "placed", "but", "relation", "annotated", "bypass", "reach", "file",
+    "read", "lw", "no", "use", "critical", "cpi", "kib", "writes", "runs",
+    "taken", "branches", "plus", "predict", "boe", "si", "na", "pitch",
+    "printed", "follows", "drive", "dies", "defects", "wirelength",
+    "target", "full", "terms", "write", "computes", "parity",
+    "equivalent", "propagate", "followed", "multiplexer", "oscillator",
+    "oscillation", "cross", "become", "entries", "don", "characteristic",
+    "form", "produce", "successive", "edges", "applied", "mealy",
+    "overlapping", "detector", "outputs", "starts", "feeds", "complement",
+    "last", "chips", "biased", "field", "arithmetic", "vs", "top", "much",
+    "vout", "rin", "rg", "finite", "classic", "resistors", "common",
+    "adding", "stacks", "including", "both", "pair", "cmrr",
+    "approximation", "vov", "vgs", "vth", "scaling", "conversion", "pass",
+    "converter", "large", "lsb", "nf", "present", "do", "instruction",
+    "instructions", "cycles", "cycle", "stall", "stalls", "forwarding",
+    "decode", "fetch", "writeback", "compute", "derive", "determine",
+    "shown", "figure", "minimum", "maximum", "resistance", "voltage",
+    "frequency", "feedback", "amplifier", "transistor", "capacitance",
+    # common letter bigrams/trigrams as continuations
+    "##th", "##he", "##in", "##er", "##an", "##re", "##on", "##at", "##en",
+    "##nd", "##ti", "##es", "##or", "##te", "##of", "##it", "##is", "##ar",
+    "##st", "##to", "##nt", "##ng", "##se", "##ha", "##as", "##ou", "##io",
+    "##le", "##ve", "##co", "##me", "##de", "##hi", "##ri", "##ro", "##ic",
+    "##ne", "##ea", "##ra", "##ce", "##li", "##ch", "##ll", "##be", "##ma",
+    "##si", "##om", "##ur", "##ck", "##ge", "##ap", "##la", "##el", "##ta",
+    "##ol", "##ow", "##sh", "##ul", "##um", "##ag", "##ir", "##ab", "##ut",
+    "##ad", "##qu", "##ff", "##gh", "##gn", "##mp", "##ph", "##ach", "##ign",
+    "##ter", "##ent", "##ate", "##ver", "##ith", "##ort", "##ect", "##ain",
+]
+
+
+def _build_vocab(extra: Iterable[str] = ()) -> dict:
+    vocab = {}
+    for piece in _BASE_VOCAB:
+        vocab.setdefault(piece, len(vocab))
+    # single characters, standalone and as continuations
+    for code in range(32, 127):
+        ch = chr(code)
+        vocab.setdefault(ch, len(vocab))
+        if ch.isalnum():
+            vocab.setdefault("##" + ch, len(vocab))
+    for piece in extra:
+        vocab.setdefault(piece, len(vocab))
+    return vocab
+
+
+class WordPieceTokenizer:
+    """Deterministic greedy longest-match sub-word tokenizer.
+
+    >>> tok = WordPieceTokenizer()
+    >>> tok.count("What is the voltage across RL?") >= 7
+    True
+    """
+
+    #: Upper bound on a matched sub-word, keeps the greedy scan linear.
+    max_piece_len = 16
+
+    def __init__(self, extra_vocab: Iterable[str] = ()) -> None:
+        self._vocab = _build_vocab(extra_vocab)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._vocab)
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split ``text`` into sub-word tokens (continuations prefixed ``##``)."""
+        pieces: List[str] = []
+        for word in _WORD_RE.findall(text):
+            pieces.extend(self._tokenize_word(word))
+        return pieces
+
+    def _tokenize_word(self, word: str) -> List[str]:
+        lowered = word.lower()
+        pieces: List[str] = []
+        start = 0
+        while start < len(lowered):
+            end = min(len(lowered), start + self.max_piece_len)
+            match = None
+            while end > start:
+                candidate = lowered[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self._vocab:
+                    match = candidate
+                    break
+                end -= 1
+            if match is None:
+                # Single characters are always in the vocabulary, so this
+                # only happens for non-ASCII input; emit a 1-char fallback.
+                match = ("##" if start > 0 else "") + lowered[start]
+                start += 1
+            else:
+                start = end
+            pieces.append(match)
+        return pieces
+
+    def count(self, text: str) -> int:
+        """Number of tokens in ``text``."""
+        return len(self.tokenize(text))
+
+    def detokenize(self, pieces: Sequence[str]) -> str:
+        """Best-effort inverse of :meth:`tokenize` (lower-cased)."""
+        words: List[str] = []
+        for piece in pieces:
+            if piece.startswith("##") and words:
+                words[-1] += piece[2:]
+            else:
+                words.append(piece)
+        return " ".join(words)
+
+
+_DEFAULT = None
+
+
+def default_tokenizer() -> WordPieceTokenizer:
+    """Process-wide shared tokenizer instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = WordPieceTokenizer()
+    return _DEFAULT

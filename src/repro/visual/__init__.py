@@ -1,0 +1,85 @@
+"""Visual substrate: raster rendering of question figures.
+
+The public entry point is :func:`render`, which turns a
+:class:`~repro.core.question.VisualContent` into a grayscale numpy image.
+Figures are described declaratively as *scenes* (see
+:mod:`repro.visual.scene`); questions without a scene render as a labelled
+placeholder so every question always has pixels for the encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.question import VisualContent
+from repro.visual.canvas import Canvas
+from repro.visual.resolution import (
+    downsample,
+    edge_energy,
+    legibility_score,
+    stroke_legibility,
+    visual_legibility,
+)
+from repro.visual.scene import Scene, draw_scene, render_scene
+
+__all__ = [
+    "Canvas",
+    "Scene",
+    "render",
+    "render_scene",
+    "draw_scene",
+    "downsample",
+    "edge_energy",
+    "legibility_score",
+    "stroke_legibility",
+    "visual_legibility",
+]
+
+_CACHE: dict = {}
+_CACHE_LIMIT = 256
+
+
+def render(visual: VisualContent, use_cache: bool = True) -> np.ndarray:
+    """Rasterise ``visual`` at its native resolution.
+
+    ``render_spec`` must be empty or ``("scene", [primitives...])``.  Renders
+    are cached by object identity because :class:`VisualContent` is immutable
+    and questions are long-lived.
+    """
+    key = id(visual)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    if visual.render_spec:
+        kind = visual.render_spec[0]
+        if kind != "scene":
+            raise ValueError(f"unknown render spec kind: {kind!r}")
+        image = render_scene(visual.render_spec[1], visual.width, visual.height)
+    else:
+        image = _placeholder(visual)
+    if use_cache:
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[key] = image
+    return image
+
+
+def _placeholder(visual: VisualContent) -> np.ndarray:
+    """A framed placeholder showing the visual type and description."""
+    canvas = Canvas(visual.width, visual.height)
+    canvas.rect(4, 4, visual.width - 9, visual.height - 9, thickness=2)
+    canvas.text(14, 14, visual.visual_type.value.upper())
+    # wrap the description into short lines
+    words = visual.description.split()
+    line, y = "", 40
+    for word in words:
+        if len(line) + len(word) + 1 > 38:
+            canvas.text(14, y, line)
+            y += 12
+            line = word
+            if y > visual.height - 20:
+                break
+        else:
+            line = f"{line} {word}".strip()
+    if line and y <= visual.height - 20:
+        canvas.text(14, y, line)
+    return canvas.pixels

@@ -1,0 +1,231 @@
+"""A numpy raster canvas with the drawing primitives renderers need.
+
+Images are single-channel ``uint8`` arrays with white (255) background and
+dark ink; renderers draw in "ink levels" so layouts can distinguish layers by
+grey value.  Coordinates are ``(x, y)`` with the origin at the top-left, as
+in conventional raster graphics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.visual.glyphs import (
+    GLYPH_HEIGHT,
+    GLYPH_WIDTH,
+    glyph_bitmap,
+    text_width,
+)
+
+WHITE = 255
+BLACK = 0
+
+
+class Canvas:
+    """A mutable grayscale raster with vector-ish drawing primitives."""
+
+    def __init__(self, width: int, height: int, background: int = WHITE):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.pixels = np.full((height, width), background, dtype=np.uint8)
+
+    # -- low-level ---------------------------------------------------------
+
+    def set_pixel(self, x: int, y: int, ink: int = BLACK) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self.pixels[y, x] = ink
+
+    def _stroke_point(self, x: int, y: int, ink: int, thickness: int) -> None:
+        if thickness <= 1:
+            self.set_pixel(x, y, ink)
+            return
+        radius = thickness // 2
+        x0 = max(0, x - radius)
+        x1 = min(self.width, x + radius + 1)
+        y0 = max(0, y - radius)
+        y1 = min(self.height, y + radius + 1)
+        if x0 < x1 and y0 < y1:
+            self.pixels[y0:y1, x0:x1] = ink
+
+    # -- primitives ----------------------------------------------------------
+
+    def line(
+        self,
+        x0: int,
+        y0: int,
+        x1: int,
+        y1: int,
+        ink: int = BLACK,
+        thickness: int = 1,
+    ) -> None:
+        """Bresenham line from ``(x0, y0)`` to ``(x1, y1)``."""
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        x, y = x0, y0
+        while True:
+            self._stroke_point(x, y, ink, thickness)
+            if x == x1 and y == y1:
+                break
+            err2 = 2 * err
+            if err2 >= dy:
+                err += dy
+                x += sx
+            if err2 <= dx:
+                err += dx
+                y += sy
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[int, int]],
+        ink: int = BLACK,
+        thickness: int = 1,
+    ) -> None:
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            self.line(x0, y0, x1, y1, ink, thickness)
+
+    def rect(
+        self,
+        x: int,
+        y: int,
+        width: int,
+        height: int,
+        ink: int = BLACK,
+        thickness: int = 1,
+    ) -> None:
+        """Rectangle outline with top-left corner ``(x, y)``."""
+        self.line(x, y, x + width, y, ink, thickness)
+        self.line(x + width, y, x + width, y + height, ink, thickness)
+        self.line(x + width, y + height, x, y + height, ink, thickness)
+        self.line(x, y + height, x, y, ink, thickness)
+
+    def fill_rect(
+        self, x: int, y: int, width: int, height: int, ink: int = BLACK
+    ) -> None:
+        x0 = max(0, x)
+        y0 = max(0, y)
+        x1 = min(self.width, x + width)
+        y1 = min(self.height, y + height)
+        if x0 < x1 and y0 < y1:
+            self.pixels[y0:y1, x0:x1] = ink
+
+    def hatch_rect(
+        self,
+        x: int,
+        y: int,
+        width: int,
+        height: int,
+        ink: int = BLACK,
+        pitch: int = 6,
+    ) -> None:
+        """Rectangle outline filled with diagonal hatching (layout layers)."""
+        self.rect(x, y, width, height, ink)
+        for offset in range(-height, width, pitch):
+            x0 = x + max(0, offset)
+            y0 = y + max(0, -offset)
+            length = min(width - max(0, offset), height - max(0, -offset))
+            if length > 0:
+                self.line(x0, y0, x0 + length, y0 + length, ink)
+
+    def circle(
+        self, cx: int, cy: int, radius: int, ink: int = BLACK, thickness: int = 1
+    ) -> None:
+        """Midpoint circle outline."""
+        x, y = radius, 0
+        err = 1 - radius
+        while x >= y:
+            for px, py in (
+                (cx + x, cy + y), (cx - x, cy + y),
+                (cx + x, cy - y), (cx - x, cy - y),
+                (cx + y, cy + x), (cx - y, cy + x),
+                (cx + y, cy - x), (cx - y, cy - x),
+            ):
+                self._stroke_point(px, py, ink, thickness)
+            y += 1
+            if err < 0:
+                err += 2 * y + 1
+            else:
+                x -= 1
+                err += 2 * (y - x) + 1
+
+    def fill_circle(self, cx: int, cy: int, radius: int, ink: int = BLACK) -> None:
+        for dy in range(-radius, radius + 1):
+            span = int(math.isqrt(radius * radius - dy * dy))
+            self.fill_rect(cx - span, cy + dy, 2 * span + 1, 1, ink)
+
+    def arrow(
+        self,
+        x0: int,
+        y0: int,
+        x1: int,
+        y1: int,
+        ink: int = BLACK,
+        head: int = 5,
+        thickness: int = 1,
+    ) -> None:
+        """A line with an arrowhead at ``(x1, y1)``."""
+        self.line(x0, y0, x1, y1, ink, thickness)
+        angle = math.atan2(y1 - y0, x1 - x0)
+        for side in (-1, 1):
+            theta = angle + side * (math.pi - math.pi / 6)
+            hx = int(round(x1 + head * math.cos(theta)))
+            hy = int(round(y1 + head * math.sin(theta)))
+            self.line(x1, y1, hx, hy, ink, thickness)
+
+    def text(
+        self,
+        x: int,
+        y: int,
+        message: str,
+        ink: int = BLACK,
+        scale: int = 1,
+    ) -> None:
+        """Draw ``message`` with its top-left corner at ``(x, y)``."""
+        cursor = x
+        for character in message:
+            bitmap = glyph_bitmap(character)
+            for row, bits in enumerate(bitmap):
+                for col, bit in enumerate(bits):
+                    if bit:
+                        if scale == 1:
+                            self.set_pixel(cursor + col, y + row, ink)
+                        else:
+                            self.fill_rect(
+                                cursor + col * scale,
+                                y + row * scale,
+                                scale,
+                                scale,
+                                ink,
+                            )
+            cursor += (GLYPH_WIDTH + 1) * scale
+
+    def text_centered(
+        self,
+        cx: int,
+        cy: int,
+        message: str,
+        ink: int = BLACK,
+        scale: int = 1,
+    ) -> None:
+        """Draw ``message`` centred on ``(cx, cy)``."""
+        x = cx - text_width(message, scale) // 2
+        y = cy - (GLYPH_HEIGHT * scale) // 2
+        self.text(x, y, message, ink, scale)
+
+    # -- statistics ------------------------------------------------------------
+
+    def ink_fraction(self) -> float:
+        """Fraction of non-background pixels (used in renderer tests)."""
+        return float(np.count_nonzero(self.pixels != WHITE)) / self.pixels.size
+
+    def copy(self) -> "Canvas":
+        clone = Canvas(self.width, self.height)
+        clone.pixels = self.pixels.copy()
+        return clone

@@ -1,0 +1,15 @@
+"""Shared fixtures: the benchmark is expensive enough to build once."""
+
+import pytest
+
+from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
+
+
+@pytest.fixture(scope="session")
+def chipvqa():
+    return build_chipvqa()
+
+
+@pytest.fixture(scope="session")
+def chipvqa_challenge():
+    return build_chipvqa_challenge()

@@ -1,0 +1,113 @@
+"""Tests for the designer + vision-tool agent system."""
+
+import pytest
+
+from repro.agent import (
+    AGENT_RATES_NO_CHOICE,
+    AGENT_RATES_WITH_CHOICE,
+    ChipDesignerAgent,
+    Conversation,
+    DESCRIPTION_FIDELITY,
+    Message,
+    Role,
+    VisionTool,
+    evaluate_agent,
+)
+from repro.core.benchmark import build_chipvqa
+from repro.core.question import Category, VisualType
+from repro.models.vlm import NO_CHOICE, WITH_CHOICE
+
+
+class TestMessages:
+    def test_tool_message_requires_name(self):
+        with pytest.raises(ValueError):
+            Message(Role.TOOL, "content")
+
+    def test_conversation_accumulates(self):
+        conversation = Conversation()
+        conversation.add(Role.SYSTEM, "s")
+        conversation.add(Role.USER, "u")
+        conversation.add(Role.ASSISTANT, "a")
+        assert conversation.turns() == 1
+        assert conversation.last().content == "a"
+
+    def test_empty_last_raises(self):
+        with pytest.raises(IndexError):
+            Conversation().last()
+
+    def test_render(self):
+        conversation = Conversation()
+        conversation.add(Role.TOOL, "desc", tool_name="describe_image")
+        assert "TOOL(describe_image)" in conversation.render()
+
+
+class TestVisionTool:
+    def test_description_mentions_type(self, chipvqa):
+        tool = VisionTool()
+        question = chipvqa[0]
+        text = tool.describe_question(question)
+        assert question.visual.visual_type.value in text
+
+    def test_fidelity_table_covers_all_types(self):
+        for visual_type in VisualType:
+            assert visual_type in DESCRIPTION_FIDELITY
+
+    def test_structure_describes_worst(self):
+        assert DESCRIPTION_FIDELITY[VisualType.STRUCTURE] == \
+            min(DESCRIPTION_FIDELITY.values())
+
+    def test_fidelity_of_question(self, chipvqa):
+        tool = VisionTool()
+        for question in list(chipvqa)[:10]:
+            assert 0.0 < tool.fidelity(question) <= 1.0
+
+
+class TestAgentLoop:
+    def test_solve_produces_tool_call(self, chipvqa):
+        agent = ChipDesignerAgent()
+        plan = agent.plan(list(chipvqa), WITH_CHOICE)
+        trace = agent.solve(chipvqa[0], plan)
+        assert trace.tool_calls == 1
+        roles = [m.role for m in trace.conversation.messages]
+        assert roles[:2] == [Role.SYSTEM, Role.USER]
+        assert Role.TOOL in roles
+        assert roles[-1] is Role.ASSISTANT
+
+    def test_calibration_rates_cover_categories(self):
+        for table in (AGENT_RATES_WITH_CHOICE, AGENT_RATES_NO_CHOICE):
+            assert set(table) == set(Category)
+
+    def test_manufacturing_regresses_vs_gpt4o(self):
+        from repro.models import paper_rates
+
+        gpt = paper_rates("gpt-4o", WITH_CHOICE)[Category.MANUFACTURING]
+        assert AGENT_RATES_WITH_CHOICE[Category.MANUFACTURING] < gpt
+
+    def test_answer_all_matches_harness_contract(self, chipvqa):
+        agent = ChipDesignerAgent()
+        answers = agent.answer_all(list(chipvqa)[:5], WITH_CHOICE)
+        assert len(answers) == 5
+        assert all(a.text for a in answers)
+
+    def test_unknown_setting_raises(self, chipvqa):
+        with pytest.raises(ValueError):
+            ChipDesignerAgent().plan(list(chipvqa), "maybe_choice")
+
+
+class TestAgentEvaluation:
+    def test_overall_rates_match_table3(self, chipvqa, chipvqa_challenge):
+        agent = ChipDesignerAgent()
+        with_choice = evaluate_agent(agent, chipvqa, WITH_CHOICE)
+        no_choice = evaluate_agent(agent, chipvqa_challenge, NO_CHOICE)
+        assert with_choice.pass_at_1() == pytest.approx(0.49, abs=0.01)
+        assert no_choice.pass_at_1() == pytest.approx(0.21, abs=0.01)
+
+    def test_agent_beats_gpt4o_with_choice(self, chipvqa):
+        from repro.core.harness import EvaluationHarness
+        from repro.models import build_model
+
+        harness = EvaluationHarness()
+        gpt = harness.zero_shot_standard(build_model("gpt-4o"))
+        agent_result = evaluate_agent(ChipDesignerAgent(), chipvqa,
+                                      WITH_CHOICE)
+        assert agent_result.pass_at_1() > gpt.pass_at_1()

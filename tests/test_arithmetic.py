@@ -1,0 +1,140 @@
+"""Tests for data representation and computer-arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.digital import arithmetic as ar
+
+
+class TestTwosComplement:
+    def test_positive(self):
+        assert ar.to_twos_complement(5, 8) == "00000101"
+
+    def test_negative(self):
+        assert ar.to_twos_complement(-1, 4) == "1111"
+        assert ar.to_twos_complement(-8, 4) == "1000"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            ar.to_twos_complement(8, 4)
+
+    def test_range(self):
+        assert ar.twos_complement_range(8) == (-128, 127)
+
+    @given(st.integers(2, 12), st.data())
+    def test_round_trip(self, width, data):
+        low, high = ar.twos_complement_range(width)
+        value = data.draw(st.integers(low, high))
+        assert ar.from_twos_complement(
+            ar.to_twos_complement(value, width)) == value
+
+    def test_from_invalid_raises(self):
+        with pytest.raises(ValueError):
+            ar.from_twos_complement("10a1")
+
+
+class TestOverflow:
+    def test_positive_overflow(self):
+        result, overflow = ar.add_with_overflow(90, 70, 8)
+        assert overflow and result == -96
+
+    def test_negative_overflow(self):
+        result, overflow = ar.add_with_overflow(-100, -100, 8)
+        assert overflow and result == 56
+
+    def test_no_overflow(self):
+        result, overflow = ar.add_with_overflow(50, 20, 8)
+        assert not overflow and result == 70
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    def test_wrap_consistent_with_mod(self, a, b):
+        result, _ = ar.add_with_overflow(a, b, 8)
+        assert (result - (a + b)) % 256 == 0
+        assert -128 <= result <= 127
+
+
+class TestSignExtension:
+    def test_negative_extends_ones(self):
+        assert ar.sign_extend("1010", 8) == "11111010"
+
+    def test_positive_extends_zeros(self):
+        assert ar.sign_extend("0110", 8) == "00000110"
+
+    def test_preserves_value(self):
+        assert ar.from_twos_complement(ar.sign_extend("1010", 8)) == \
+            ar.from_twos_complement("1010")
+
+    def test_narrower_target_raises(self):
+        with pytest.raises(ValueError):
+            ar.sign_extend("10101010", 4)
+
+
+class TestFixedAndFloat:
+    def test_fixed_point(self):
+        assert ar.fixed_point_value("0110", 2) == 1.5
+        assert ar.fixed_point_value("1100", 2, signed=True) == -1.0
+
+    def test_float_fields_one(self):
+        assert ar.float_fields(1.0) == (0, 127, 0)
+
+    def test_float_fields_minus_six_point_five(self):
+        sign, exponent, mantissa = ar.float_fields(-6.5)
+        assert sign == 1 and exponent == 129
+        # 6.5 = 1.625 * 2^2; fraction 0.625 -> mantissa 0.625 * 2^23
+        assert mantissa == int(0.625 * (1 << 23))
+
+    def test_float_zero(self):
+        assert ar.float_fields(0.0) == (0, 0, 0)
+
+    def test_float_specials_raise(self):
+        with pytest.raises(ValueError):
+            ar.float_fields(float("inf"))
+
+
+class TestCodes:
+    def test_parity(self):
+        assert ar.parity_bit("1011") == 1
+        assert ar.parity_bit("1011", even=False) == 0
+
+    def test_gray_round_trip(self):
+        for value in range(64):
+            assert ar.gray_decode(ar.gray_encode(value)) == value
+
+    def test_gray_adjacent_differ_by_one_bit(self):
+        for value in range(63):
+            diff = ar.gray_encode(value) ^ ar.gray_encode(value + 1)
+            assert bin(diff).count("1") == 1
+
+    def test_hamming_encode_length(self):
+        assert len(ar.hamming_encode("1011")) == 7
+
+    def test_hamming_clean_syndrome_zero(self):
+        code = ar.hamming_encode("1011")
+        assert ar.hamming_syndrome(code) == 0
+
+    @given(st.text(alphabet="01", min_size=4, max_size=4),
+           st.integers(0, 6))
+    def test_hamming_corrects_any_single_flip(self, data, position):
+        code = ar.hamming_encode(data)
+        corrupted = list(code)
+        corrupted[position] = "1" if corrupted[position] == "0" else "0"
+        fixed, found = ar.hamming_correct("".join(corrupted))
+        assert fixed == code
+        assert found == position + 1
+
+
+class TestMemory:
+    def test_address_bits(self):
+        assert ar.memory_address_bits(65536) == 16
+        assert ar.memory_address_bits(1) == 0
+        assert ar.memory_address_bits(3) == 2
+
+    def test_chip_count(self):
+        assert ar.memory_chip_count(64 * 1024, 16, 16 * 1024, 8) == 8
+
+    def test_chip_count_exact_fit(self):
+        assert ar.memory_chip_count(1024, 8, 1024, 8) == 1
+
+    def test_chip_count_validates(self):
+        with pytest.raises(ValueError):
+            ar.memory_chip_count(0, 8, 1024, 8)

@@ -1,0 +1,142 @@
+"""The assembled benchmark must match every Table I statistic."""
+
+import pytest
+
+from repro.core.benchmark import (
+    BenchmarkIntegrityError,
+    build_chipvqa,
+    validate_chipvqa,
+)
+from repro.core.dataset import Dataset
+from repro.core.question import (
+    CATEGORY_COUNTS,
+    CATEGORY_MC_COUNTS,
+    Category,
+    QuestionType,
+    VISUAL_TYPE_COUNTS,
+    VisualType,
+)
+
+
+class TestTable1Statistics:
+    def test_total_questions(self, chipvqa):
+        assert len(chipvqa) == 142
+
+    def test_mc_sa_split(self, chipvqa):
+        counts = chipvqa.type_counts()
+        assert counts[QuestionType.MULTIPLE_CHOICE] == 99
+        assert counts[QuestionType.SHORT_ANSWER] == 43
+
+    @pytest.mark.parametrize("category,expected", [
+        (Category.DIGITAL, 35),
+        (Category.ANALOG, 44),
+        (Category.ARCHITECTURE, 20),
+        (Category.MANUFACTURING, 20),
+        (Category.PHYSICAL, 23),
+    ])
+    def test_category_counts(self, chipvqa, category, expected):
+        assert chipvqa.category_counts()[category] == expected
+
+    @pytest.mark.parametrize("visual_type,expected",
+                             sorted(VISUAL_TYPE_COUNTS.items(),
+                                    key=lambda kv: kv[0].value))
+    def test_visual_type_counts(self, chipvqa, visual_type, expected):
+        assert chipvqa.visual_counts().get(visual_type, 0) == expected
+
+    def test_visual_component_total_is_144(self, chipvqa):
+        assert chipvqa.visual_component_total() == 144
+
+    def test_digital_and_analog_are_all_mc(self, chipvqa):
+        mc = chipvqa.mc_counts_by_category()
+        assert mc[Category.DIGITAL] == 35
+        assert mc[Category.ANALOG] == 44
+
+    def test_manufacturing_skews_short_answer(self, chipvqa):
+        mc = chipvqa.mc_counts_by_category()[Category.MANUFACTURING]
+        assert mc < 20 - mc  # more SA than MC, per Section IV-A
+
+    def test_token_stats_match_table1(self, chipvqa):
+        stats = chipvqa.token_stats()
+        assert abs(stats.mean - 51.0) < 3.0
+        assert stats.minimum == 5
+        assert 300 <= stats.maximum <= 400
+
+
+class TestQuestionQuality:
+    def test_qids_unique_and_prefixed(self, chipvqa):
+        prefixes = {"dig", "ana", "arc", "mfg", "phy"}
+        for question in chipvqa:
+            assert question.qid.split("-")[0] in prefixes
+
+    def test_every_question_has_a_visual(self, chipvqa):
+        for question in chipvqa:
+            assert question.all_visuals
+
+    def test_every_visual_has_a_scene(self, chipvqa):
+        # all our questions render (no placeholder-only figures)
+        for question in chipvqa:
+            for visual in question.all_visuals:
+                assert visual.render_spec, question.qid
+
+    def test_mc_choices_are_distinct(self, chipvqa):
+        for question in chipvqa:
+            if question.is_multiple_choice:
+                assert len(set(question.choices)) == 4, question.qid
+
+    def test_difficulties_span_a_range(self, chipvqa):
+        difficulties = [q.difficulty for q in chipvqa]
+        assert min(difficulties) < 0.3
+        assert max(difficulties) > 0.7
+
+    def test_topics_annotated(self, chipvqa):
+        assert all(q.topics for q in chipvqa)
+
+    def test_build_is_cached(self):
+        assert build_chipvqa() is build_chipvqa()
+
+
+class TestValidator:
+    def test_rejects_wrong_total(self, chipvqa):
+        truncated = Dataset(list(chipvqa)[:100])
+        with pytest.raises(BenchmarkIntegrityError, match="142"):
+            validate_chipvqa(truncated)
+
+    def test_accepts_the_real_benchmark(self, chipvqa):
+        validate_chipvqa(chipvqa)  # must not raise
+
+
+class TestValidatorMutations:
+    """The validator must catch every class of structural drift."""
+
+    def _mutate(self, chipvqa, index, **changes):
+        import dataclasses
+
+        questions = list(chipvqa)
+        questions[index] = dataclasses.replace(questions[index], **changes)
+        return Dataset(questions)
+
+    def test_catches_category_drift(self, chipvqa):
+        import dataclasses
+
+        mutated = self._mutate(chipvqa, 0, category=Category.ANALOG,
+                               qid="dig-xx")
+        with pytest.raises(BenchmarkIntegrityError):
+            validate_chipvqa(mutated)
+
+    def test_catches_visual_type_drift(self, chipvqa):
+        import dataclasses
+
+        question = chipvqa[1]
+        new_visual = dataclasses.replace(
+            question.visual, visual_type=VisualType.CURVE)
+        mutated = self._mutate(chipvqa, 1, visual=new_visual)
+        with pytest.raises(BenchmarkIntegrityError, match="visual"):
+            validate_chipvqa(mutated)
+
+    def test_catches_mc_sa_drift(self, chipvqa):
+        from repro.core.transforms import to_short_answer
+
+        questions = list(chipvqa)
+        questions[0] = to_short_answer(questions[0])
+        with pytest.raises(BenchmarkIntegrityError):
+            validate_chipvqa(Dataset(questions))

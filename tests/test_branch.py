@@ -1,0 +1,119 @@
+"""Tests for branch predictors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.branch import (
+    GsharePredictor,
+    OneBitPredictor,
+    StaticPredictor,
+    TwoBitPredictor,
+    accuracy,
+    loop_branch_outcomes,
+    mispredict_penalty_cpi,
+    run_predictor,
+)
+
+
+class TestStatic:
+    def test_always_taken(self):
+        predictor = StaticPredictor(True)
+        outcomes = [True, True, False]
+        correct, _ = run_predictor(predictor, outcomes)
+        assert correct == 2
+
+
+class TestOneBit:
+    def test_mispredicts_twice_per_loop(self):
+        # classic result: a loop branch costs 2 mispredicts per execution
+        predictor = OneBitPredictor(initial_taken=False)
+        outcomes = loop_branch_outcomes(iterations=5, trips=2)
+        correct, flags = run_predictor(predictor, outcomes)
+        # trip 1: initial miss + exit miss; trip 2: re-entry miss + exit
+        assert len(outcomes) - correct == 4
+
+    def test_tracks_last_outcome(self):
+        predictor = OneBitPredictor()
+        predictor.update(0, True)
+        assert predictor.predict(0) is True
+        predictor.update(0, False)
+        assert predictor.predict(0) is False
+
+
+class TestTwoBit:
+    def test_counter_saturates(self):
+        predictor = TwoBitPredictor(initial=3)
+        for _ in range(5):
+            predictor.update(0, True)
+        assert predictor.counter(0) == 3
+        for _ in range(5):
+            predictor.update(0, False)
+        assert predictor.counter(0) == 0
+
+    def test_hysteresis_survives_one_exit(self):
+        predictor = TwoBitPredictor(initial=3)
+        predictor.update(0, False)  # loop exit
+        assert predictor.predict(0) is True  # still predicts taken
+
+    def test_paper_loop_accuracy(self):
+        predictor = TwoBitPredictor(initial=1)
+        outcomes = loop_branch_outcomes(iterations=5, trips=2)
+        correct, _ = run_predictor(predictor, outcomes)
+        assert correct == 7  # 70% over 10 branches
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(initial=4)
+
+    def test_beats_one_bit_on_loops(self):
+        outcomes = loop_branch_outcomes(iterations=10, trips=5)
+        two_bit = accuracy(TwoBitPredictor(initial=3), outcomes)
+        one_bit = accuracy(OneBitPredictor(initial_taken=True), outcomes)
+        assert two_bit >= one_bit
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        predictor = GsharePredictor(history_bits=4)
+        outcomes = [True, False] * 40
+        correct, flags = run_predictor(predictor, outcomes)
+        # after warm-up the alternation is perfectly predictable
+        assert all(flags[-20:])
+
+    def test_history_bits_validated(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+
+class TestHelpers:
+    def test_loop_outcomes_shape(self):
+        outcomes = loop_branch_outcomes(iterations=4, trips=2)
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_loop_outcomes_validation(self):
+        with pytest.raises(ValueError):
+            loop_branch_outcomes(0)
+
+    def test_mispredict_cpi(self):
+        assert mispredict_penalty_cpi(1.0, 0.2, 0.1, 15) == \
+            pytest.approx(1.3)
+
+    def test_mispredict_cpi_validation(self):
+        with pytest.raises(ValueError):
+            mispredict_penalty_cpi(1.0, 2.0, 0.1, 15)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_accuracy_bounded(outcomes):
+    for predictor in (StaticPredictor(), OneBitPredictor(),
+                      TwoBitPredictor(), GsharePredictor()):
+        value = accuracy(predictor, outcomes)
+        assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(st.booleans(), min_size=4, max_size=100))
+def test_constant_stream_learned_by_two_bit(outcomes):
+    """On an all-taken stream the 2-bit predictor converges within 2."""
+    predictor = TwoBitPredictor(initial=0)
+    correct, flags = run_predictor(predictor, [True] * len(outcomes))
+    assert all(flags[2:])

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "142" in out
+
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-4o" in out and "paligemma" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "--model", "kosmos-2"]) == 0
+        out = capsys.readouterr().out
+        assert "pass@1" in out
+
+    def test_evaluate_challenge(self, capsys):
+        assert main(["evaluate", "--model", "kosmos-2",
+                     "--challenge"]) == 0
+        assert "no_choice" in capsys.readouterr().out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--models", "kosmos-2", "paligemma"]) == 0
+        out = capsys.readouterr().out
+        assert "kosmos-2" in out
+
+    def test_resolution(self, capsys):
+        assert main(["resolution", "--factors", "1", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16x" in out
+
+    def test_resolution_bad_category(self):
+        with pytest.raises(SystemExit):
+            main(["resolution", "--category", "Quantum"])
+
+    def test_composition(self, capsys):
+        assert main(["composition"]) == 0
+        assert "Digital Design" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gpt-4o", "kosmos-2"]) == 0
+        assert "McNemar" in capsys.readouterr().out
+
+    def test_export_dataset(self, tmp_path, capsys):
+        out = tmp_path / "chipvqa.jsonl"
+        assert main(["export-dataset", "--out", str(out)]) == 0
+        assert out.exists()
+        assert len(out.read_text().splitlines()) == 142
+
+    def test_export_figures(self, tmp_path, capsys):
+        assert main(["export-figures", "--out", str(tmp_path),
+                     "--limit", "2"]) == 0
+        assert len(list(tmp_path.glob("*.pgm"))) == 2
+
+    def test_show_question(self, capsys):
+        assert main(["show", "dig-08"]) == 0
+        out = capsys.readouterr().out
+        assert "worked solution" in out
+        assert "4.6" in out
+
+    def test_show_unknown_qid(self):
+        with pytest.raises(SystemExit):
+            main(["show", "nope-99"])
+
+    def test_show_with_figure(self, tmp_path, capsys):
+        path = tmp_path / "fig.pgm"
+        assert main(["show", "mfg-01", "--figure", str(path)]) == 0
+        assert path.exists()

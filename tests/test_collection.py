@@ -1,0 +1,188 @@
+"""Tests for the dataset-collection pipeline (future-work extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.collection import (
+    CollectionPipeline,
+    ReviewStatus,
+    balance_report,
+    find_near_duplicates,
+    mc_sa_report,
+    prompt_similarity,
+    review_question,
+)
+from repro.core.dataset import Dataset
+from repro.core.question import (
+    AnswerKind,
+    AnswerSpec,
+    Category,
+    VisualContent,
+    VisualType,
+    make_mc_question,
+    make_sa_question,
+)
+
+
+def _good_question(qid="c-1", prompt=None):
+    return make_mc_question(
+        qid, Category.DIGITAL,
+        prompt or "Given the gate network shown, determine the output "
+                  "value of F when all inputs are high.",
+        VisualContent(VisualType.SCHEMATIC, "network"),
+        ("F = 1", "F = 0", "F = A", "F = B'"), 0,
+        difficulty=0.4, topics=("logic",))
+
+
+class TestSimilarity:
+    def test_identical_prompts(self):
+        assert prompt_similarity("the same words here",
+                                 "the same words here") == 1.0
+
+    def test_disjoint_prompts(self):
+        assert prompt_similarity("alpha beta gamma delta",
+                                 "completely different text entirely") \
+            < 0.2
+
+    def test_near_duplicate_detected(self):
+        base = _good_question("c-1")
+        clone = _good_question(
+            "c-2",
+            prompt="Given the gate network shown, determine the output "
+                   "value of F when all inputs are low.")
+        hits = find_near_duplicates(clone, [base], threshold=0.5)
+        assert hits and hits[0][0] == "c-1"
+
+    def test_self_excluded(self):
+        question = _good_question()
+        assert find_near_duplicates(question, [question]) == []
+
+
+class TestReviewChecklist:
+    def test_good_question_passes(self):
+        assert review_question(_good_question()) == []
+
+    def test_missing_topics_flagged(self):
+        question = dataclasses.replace(_good_question(), topics=())
+        assert any("topic" in issue for issue in review_question(question))
+
+    def test_saturated_difficulty_flagged(self):
+        question = dataclasses.replace(_good_question(), difficulty=1.0)
+        assert any("difficulty" in issue
+                   for issue in review_question(question))
+
+    def test_short_prompt_flagged(self):
+        question = make_sa_question(
+            "c-9", Category.ANALOG, "Gain?",
+            VisualContent(VisualType.SCHEMATIC, "s"),
+            AnswerSpec(AnswerKind.NUMERIC, "10"), difficulty=0.5,
+            topics=("gain",))
+        assert any("short" in issue for issue in review_question(question))
+
+    def test_dissimilar_options_flagged(self):
+        question = make_mc_question(
+            "c-8", Category.DIGITAL,
+            "Pick the correct expression for the circuit shown below.",
+            VisualContent(VisualType.SCHEMATIC, "s"),
+            ("AB + C", "no", "x", "certainly not this much longer one!!"),
+            0, difficulty=0.5, topics=("logic",))
+        assert any("similar" in issue for issue in review_question(question))
+
+    def test_duplicate_against_corpus_flagged(self):
+        base = _good_question("c-1")
+        clone = _good_question("c-2")
+        issues = review_question(clone, corpus=[base])
+        assert any("near-duplicate" in issue for issue in issues)
+
+    def test_advisory_issue_does_not_block_acceptance(self):
+        question = make_mc_question(
+            "c-10", Category.DIGITAL,
+            "Pick the correct expression for the circuit shown below.",
+            VisualContent(VisualType.SCHEMATIC, "s"),
+            ("AB + C", "no", "x", "certainly not this much longer one!!"),
+            0, difficulty=0.5, topics=("logic",))
+        pipeline = CollectionPipeline()
+        pipeline.submit(question)
+        record = pipeline.review("c-10")
+        assert record.status is ReviewStatus.ACCEPTED
+        assert any("advisory" in issue for issue in record.issues)
+
+    def test_shipped_benchmark_has_no_blocking_issues(self, chipvqa):
+        for question in chipvqa:
+            blocking = [
+                issue for issue in review_question(question, corpus=[])
+                if not issue.startswith("advisory:")
+            ]
+            assert blocking == [], (question.qid, blocking)
+
+
+class TestPipeline:
+    def test_accept_flow(self):
+        pipeline = CollectionPipeline()
+        pipeline.submit(_good_question("c-1"))
+        record = pipeline.review("c-1")
+        assert record.status is ReviewStatus.ACCEPTED
+        assert len(pipeline.accepted) == 1
+
+    def test_reject_flow(self):
+        pipeline = CollectionPipeline()
+        bad = dataclasses.replace(_good_question("c-2"), topics=())
+        pipeline.submit(bad)
+        record = pipeline.review("c-2")
+        assert record.status is ReviewStatus.REJECTED
+        assert len(pipeline.accepted) == 0
+
+    def test_duplicate_submission_rejected(self):
+        pipeline = CollectionPipeline()
+        pipeline.submit(_good_question("c-3"))
+        with pytest.raises(ValueError):
+            pipeline.submit(_good_question("c-3"))
+
+    def test_second_similar_question_rejected(self):
+        pipeline = CollectionPipeline()
+        pipeline.submit(_good_question("c-1"))
+        pipeline.submit(_good_question(
+            "c-2",
+            prompt="Given the gate network shown, determine the output "
+                   "value of F when all inputs are low."))
+        outcome = pipeline.review_all()
+        assert outcome["c-1"] is ReviewStatus.ACCEPTED
+        assert outcome["c-2"] is ReviewStatus.REJECTED
+        assert pipeline.acceptance_rate() == 0.5
+
+    def test_acceptance_rate_requires_reviews(self):
+        with pytest.raises(ValueError):
+            CollectionPipeline().acceptance_rate()
+
+    def test_grows_existing_benchmark(self, chipvqa):
+        pipeline = CollectionPipeline(seed_corpus=chipvqa)
+        pipeline.submit(_good_question(
+            "new-1",
+            prompt="A three-stage charge pump doubles its input at every "
+                   "stage as sketched; what output voltage results from "
+                   "a 1 V supply after the final stage settles?"))
+        record = pipeline.review("new-1")
+        assert record.status is ReviewStatus.ACCEPTED
+        assert len(pipeline.accepted) == 143
+
+
+class TestBalancing:
+    def test_balance_report(self, chipvqa):
+        needed = balance_report(chipvqa, target_per_category=44)
+        assert needed[Category.ANALOG] == 0
+        assert needed[Category.ARCHITECTURE] == 24
+        assert needed[Category.DIGITAL] == 9
+
+    def test_mc_sa_report(self, chipvqa):
+        needed = mc_sa_report(chipvqa, target_sa_fraction=0.3)
+        # Digital is all-MC: needs SA authoring
+        assert needed[Category.DIGITAL] == round(0.3 * 35)
+        # Manufacture is already SA-heavy
+        assert needed[Category.MANUFACTURING] == 0
+
+    def test_validation(self, chipvqa):
+        with pytest.raises(ValueError):
+            balance_report(chipvqa, -1)
+        with pytest.raises(ValueError):
+            mc_sa_report(chipvqa, 1.5)

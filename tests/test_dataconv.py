@@ -1,0 +1,90 @@
+"""Tests for the data-converter models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog import dataconv as dc
+
+
+class TestFlash:
+    def test_comparator_count(self):
+        assert dc.flash_comparator_count(6) == 63
+        assert dc.flash_comparator_count(1) == 1
+
+    def test_flash_encode_extremes(self):
+        assert dc.flash_encode(0.0, 1.0, 3) == 0
+        assert dc.flash_encode(0.999, 1.0, 3) == 7
+
+    @given(st.floats(0.0, 0.999), st.integers(1, 8))
+    def test_flash_matches_ideal_quantizer(self, v_in, bits):
+        code = dc.flash_encode(v_in, 1.0, bits)
+        assert code == min(int(v_in * 2 ** bits), 2 ** bits - 1)
+
+
+class TestSar:
+    def test_cycles(self):
+        assert dc.sar_cycles(10) == 10
+
+    def test_steps_msb_first(self):
+        steps = dc.sar_conversion_steps(1.8, 3.2, 8)
+        assert steps[0][0] == 7
+        assert steps[0][1] == pytest.approx(1.6)
+        assert steps[0][2] is True
+
+    def test_code_matches_quantizer(self):
+        assert dc.sar_code(1.8, 3.2, 8) == int(1.8 / 3.2 * 256)
+
+    @given(st.floats(0.0, 1.0), st.integers(2, 10))
+    def test_sar_equals_flash(self, v_in, bits):
+        v_ref = 1.0000001  # keep v_in strictly below full scale
+        assert dc.sar_code(v_in, v_ref, bits) == \
+            dc.flash_encode(v_in, v_ref, bits)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            dc.sar_code(5.0, 3.2, 8)
+
+
+class TestPipeline:
+    def test_one_bit_residue_low(self):
+        assert dc.pipeline_residue(0.3, 1.0, 1) == pytest.approx(0.6)
+
+    def test_one_bit_residue_high(self):
+        assert dc.pipeline_residue(0.7, 1.0, 1) == pytest.approx(0.4)
+
+    def test_stage_gain(self):
+        assert dc.pipeline_stage_gain(2) == 4
+
+    @given(st.floats(0.0, 0.999), st.integers(1, 3))
+    def test_residue_stays_in_range(self, v_in, stage_bits):
+        residue = dc.pipeline_residue(v_in, 1.0, stage_bits)
+        assert -1e-9 <= residue <= 1.0 + 1e-9
+
+
+class TestMetrics:
+    def test_lsb(self):
+        assert dc.lsb_size(2.048, 10) == pytest.approx(0.002)
+
+    def test_sqnr(self):
+        assert dc.ideal_sqnr_db(12) == pytest.approx(74.0, abs=0.1)
+
+    def test_enob_inverts_sqnr(self):
+        assert dc.enob_from_sndr(dc.ideal_sqnr_db(10)) == pytest.approx(10.0)
+
+    def test_r2r_ladder(self):
+        ladder = dc.R2RLadder(bits=8, v_ref=2.56)
+        assert ladder.output(128) == pytest.approx(1.28)
+        with pytest.raises(ValueError):
+            ladder.output(256)
+
+    def test_dnl_ideal_is_zero(self):
+        assert dc.dnl_from_levels([0.0, 1.0, 2.0, 3.0]) == \
+            pytest.approx([0.0, 0.0, 0.0])
+
+    def test_dnl_detects_wide_step(self):
+        dnl = dc.dnl_from_levels([0.0, 1.0, 2.5, 3.0, 4.0])
+        assert max(dnl) == pytest.approx(0.5)
+        assert min(dnl) == pytest.approx(-0.5)
+
+    def test_nyquist(self):
+        assert dc.nyquist_rate(20e3) == pytest.approx(40e3)

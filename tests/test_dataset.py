@@ -1,0 +1,155 @@
+"""Unit tests for the Dataset container."""
+
+import pytest
+
+from repro.core.dataset import Dataset, _percentile
+from repro.core.question import (
+    AnswerKind,
+    AnswerSpec,
+    Category,
+    QuestionType,
+    VisualContent,
+    VisualType,
+    make_mc_question,
+    make_sa_question,
+)
+
+
+def _q(qid, category=Category.DIGITAL, mc=True, difficulty=0.5,
+       prompt="What value results from the computation shown?"):
+    visual = VisualContent(VisualType.TABLE, "a table")
+    if mc:
+        return make_mc_question(qid, category, prompt, visual,
+                                ("1", "2", "3", "4"), 0,
+                                difficulty=difficulty)
+    return make_sa_question(qid, category, prompt, visual,
+                            AnswerSpec(AnswerKind.NUMERIC, "1"),
+                            difficulty=difficulty)
+
+
+@pytest.fixture
+def small():
+    return Dataset([
+        _q("a-1", Category.DIGITAL, True, 0.1),
+        _q("a-2", Category.DIGITAL, False, 0.5),
+        _q("a-3", Category.ANALOG, True, 0.9),
+    ], name="small")
+
+
+class TestContainer:
+    def test_len_and_iter(self, small):
+        assert len(small) == 3
+        assert [q.qid for q in small] == ["a-1", "a-2", "a-3"]
+
+    def test_getitem(self, small):
+        assert small[1].qid == "a-2"
+
+    def test_contains_and_get(self, small):
+        assert "a-1" in small
+        assert small.get("a-3").category is Category.ANALOG
+
+    def test_get_missing_raises(self, small):
+        with pytest.raises(KeyError):
+            small.get("nope")
+
+    def test_duplicate_qids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Dataset([_q("x"), _q("x")])
+
+
+class TestFiltering:
+    def test_by_category(self, small):
+        digital = small.by_category(Category.DIGITAL)
+        assert len(digital) == 2
+        assert digital.name.endswith("digital")
+
+    def test_by_type(self, small):
+        mc = small.by_type(QuestionType.MULTIPLE_CHOICE)
+        assert len(mc) == 2
+
+    def test_filter_predicate(self, small):
+        hard = small.filter(lambda q: q.difficulty > 0.7)
+        assert [q.qid for q in hard] == ["a-3"]
+
+    def test_split_by_category_covers_all(self, small):
+        split = small.split_by_category()
+        assert sum(len(d) for d in split.values()) == len(small)
+
+    def test_map_transform(self, small):
+        import dataclasses
+
+        harder = small.map(
+            lambda q: dataclasses.replace(q, difficulty=1.0))
+        assert all(q.difficulty == 1.0 for q in harder)
+        # original untouched
+        assert small[0].difficulty == 0.1
+
+
+class TestStatistics:
+    def test_category_counts(self, small):
+        counts = small.category_counts()
+        assert counts[Category.DIGITAL] == 2
+        assert counts[Category.ANALOG] == 1
+        assert counts[Category.PHYSICAL] == 0
+
+    def test_type_counts(self, small):
+        counts = small.type_counts()
+        assert counts[QuestionType.MULTIPLE_CHOICE] == 2
+        assert counts[QuestionType.SHORT_ANSWER] == 1
+
+    def test_mc_counts_by_category(self, small):
+        counts = small.mc_counts_by_category()
+        assert counts[Category.DIGITAL] == 1
+        assert counts[Category.ANALOG] == 1
+
+    def test_token_stats_fields(self, small):
+        stats = small.token_stats()
+        assert stats.minimum <= stats.p25 <= stats.p50 <= stats.p75
+        assert stats.p75 <= stats.maximum
+        assert stats.mean > 0
+
+    def test_token_stats_empty_raises(self):
+        with pytest.raises(ValueError):
+            Dataset([]).token_stats()
+
+    def test_difficulty_histogram(self, small):
+        # 0.1 -> bin 0; 0.5 and 0.9 -> bin 1 (half-open bins)
+        histogram = small.difficulty_histogram(bins=2)
+        assert histogram == [1, 2]
+
+    def test_difficulty_histogram_bad_bins(self, small):
+        with pytest.raises(ValueError):
+            small.difficulty_histogram(bins=0)
+
+    def test_visual_component_total(self, small):
+        assert small.visual_component_total() == 3
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert _percentile([5.0], 50) == 5.0
+
+    def test_interpolation(self):
+        assert _percentile([0.0, 10.0], 50) == 5.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0) == 1.0
+        assert _percentile(values, 100) == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _percentile([], 50)
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self, small):
+        restored = Dataset.from_jsonl(small.to_jsonl(), name="small")
+        assert len(restored) == len(small)
+        assert [q.qid for q in restored] == [q.qid for q in small]
+
+    def test_save_load(self, small, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        small.save(path)
+        restored = Dataset.load(path)
+        assert len(restored) == 3

@@ -1,0 +1,46 @@
+"""Meta-tests: documentation coverage of the public API."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULE_NAMES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__,
+                                            prefix="repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {undocumented}")
+
+
+def test_package_exports_resolve():
+    """Everything in __all__ must actually exist, for every subpackage."""
+    for module_name in MODULE_NAMES:
+        module = importlib.import_module(module_name)
+        for exported in getattr(module, "__all__", ()):
+            assert hasattr(module, exported), (module_name, exported)

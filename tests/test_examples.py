@@ -1,0 +1,42 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_benchmark.py",
+    "agent_vqa_session.py",
+    "grow_the_benchmark.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    # examples write into examples/output relative to the cwd
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "examples").mkdir()
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script
+
+
+def test_quickstart_reports_table2_numbers(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "0.44" in out
+
+
+def test_resolution_example(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "examples").mkdir()
+    runpy.run_path(str(EXAMPLES / "resolution_study.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "0.37" in out

@@ -1,0 +1,177 @@
+"""Tests for the boolean-algebra engine (parser, evaluation, equivalence)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.digital.expr import (
+    And,
+    Const,
+    ExprError,
+    Not,
+    Or,
+    Var,
+    Xor,
+    equivalent,
+    equivalent_text,
+    evaluate,
+    from_minterms,
+    minterms_of,
+    parse,
+    truth_vector,
+    variables,
+)
+
+
+class TestParser:
+    def test_single_variable(self):
+        assert parse("A") == Var("A")
+
+    def test_juxtaposition_is_and(self):
+        expr = parse("AB")
+        assert isinstance(expr, And)
+        assert expr.operands == (Var("A"), Var("B"))
+
+    def test_plus_is_or(self):
+        expr = parse("A + B")
+        assert isinstance(expr, Or)
+
+    def test_postfix_apostrophe_is_not(self):
+        assert parse("A'") == Not(Var("A"))
+
+    def test_prefix_tilde(self):
+        assert parse("~A") == Not(Var("A"))
+
+    def test_double_negation_parses(self):
+        expr = parse("A''")
+        assert expr == Not(Not(Var("A")))
+
+    def test_parentheses(self):
+        expr = parse("(A + B)C")
+        assert isinstance(expr, And)
+
+    def test_xor(self):
+        assert isinstance(parse("A ^ B"), Xor)
+
+    def test_constants(self):
+        assert parse("1") == Const(True)
+        assert parse("0") == Const(False)
+
+    def test_lhs_equals_stripped(self):
+        assert parse("Q = S + R'Q") == parse("S + R'Q")
+
+    def test_numbered_variables(self):
+        assert parse("A1 B2") == And((Var("A1"), Var("B2")))
+
+    def test_empty_raises(self):
+        with pytest.raises(ExprError):
+            parse("")
+
+    def test_unbalanced_parens_raise(self):
+        with pytest.raises(ExprError):
+            parse("(A + B")
+
+    def test_trailing_junk_raises(self):
+        with pytest.raises(ExprError):
+            parse("A + B)")
+
+    def test_precedence_and_over_or(self):
+        # AB + C  ==  (A AND B) OR C
+        expr = parse("AB + C")
+        assert evaluate(expr, {"A": False, "B": False, "C": True})
+        assert not evaluate(expr, {"A": True, "B": False, "C": False})
+
+
+class TestEvaluation:
+    def test_and(self):
+        expr = parse("AB")
+        assert evaluate(expr, {"A": True, "B": True})
+        assert not evaluate(expr, {"A": True, "B": False})
+
+    def test_demorgan(self):
+        assert equivalent(parse("(AB)'"), parse("A' + B'"))
+        assert equivalent(parse("(A + B)'"), parse("A'B'"))
+
+    def test_xor_expansion(self):
+        assert equivalent(parse("A ^ B"), parse("AB' + A'B"))
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExprError):
+            evaluate(parse("A"), {})
+
+    def test_truth_vector_order(self):
+        # binary counting order: 00, 01, 10, 11 over (A, B)
+        assert truth_vector(parse("A"), ["A", "B"]) == (
+            False, False, True, True)
+
+
+class TestEquivalence:
+    def test_absorption(self):
+        assert equivalent(parse("A + AB"), parse("A"))
+
+    def test_consensus(self):
+        assert equivalent(parse("AB + A'C + BC"), parse("AB + A'C"))
+
+    def test_non_equivalent(self):
+        assert not equivalent(parse("A + B"), parse("AB"))
+
+    def test_over_disjoint_variables(self):
+        assert not equivalent(parse("A"), parse("B"))
+
+    def test_text_interface_tolerates_garbage(self):
+        assert not equivalent_text("A +", "A")
+        assert equivalent_text("Q = A + B", "B + A")
+
+    def test_sr_latch_paper_example(self):
+        # The characteristic equation of the SR latch.
+        assert equivalent_text("S + R'Q", "R'Q + S")
+        assert not equivalent_text("S + R'Q", "S'Q + SR'")
+
+
+class TestMinterms:
+    def test_minterms_of_and(self):
+        assert minterms_of(parse("AB"), ["A", "B"]) == [3]
+
+    def test_from_minterms_round_trip(self):
+        names = ["A", "B", "C"]
+        for minterms in ([0], [1, 2, 4], [0, 7], list(range(8))):
+            expr = from_minterms(names, minterms)
+            assert minterms_of(expr, names) == sorted(minterms)
+
+    def test_from_no_minterms_is_false(self):
+        assert from_minterms(["A"], []) == Const(False)
+
+    def test_str_renders_textbook_style(self):
+        text = str(parse("A'B + C"))
+        assert "'" in text and "+" in text
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return Var(draw(st.sampled_from(["A", "B", "C", "D"])))
+    kind = draw(st.sampled_from(["not", "and", "or", "xor"]))
+    if kind == "not":
+        return Not(draw(exprs(depth=depth + 1)))
+    if kind == "xor":
+        return Xor(draw(exprs(depth=depth + 1)),
+                   draw(exprs(depth=depth + 1)))
+    operands = tuple(
+        draw(exprs(depth=depth + 1))
+        for _ in range(draw(st.integers(2, 3))))
+    return And(operands) if kind == "and" else Or(operands)
+
+
+@given(exprs())
+def test_str_parse_round_trip(expr):
+    """Printing then re-parsing preserves the boolean function."""
+    assert equivalent(parse(str(expr)), expr)
+
+
+@given(exprs())
+def test_double_negation_invariant(expr):
+    assert equivalent(Not(Not(expr)), expr)
+
+
+@given(exprs(), exprs())
+def test_de_morgan_general(a, b):
+    assert equivalent(Not(And((a, b))), Or((Not(a), Not(b))))

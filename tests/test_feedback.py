@@ -1,0 +1,89 @@
+"""Tests for feedback analysis and op-amp closed-loop formulas."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog import feedback as fb
+from repro.analog.feedback import LoopAnalysis, Topology
+
+
+class TestLoopAnalysis:
+    def test_loop_gain(self):
+        loop = LoopAnalysis(1000.0, 0.1)
+        assert loop.loop_gain == pytest.approx(100.0)
+        assert loop.desensitivity == pytest.approx(101.0)
+
+    def test_closed_loop_approaches_ideal(self):
+        loop = LoopAnalysis(1e6, 0.1)
+        assert loop.closed_loop_gain == pytest.approx(10.0, rel=1e-4)
+
+    def test_gain_error(self):
+        loop = LoopAnalysis(1000.0, 0.01)
+        assert loop.gain_error_percent() == pytest.approx(100.0 / 11.0,
+                                                          rel=1e-6)
+
+    def test_ideal_gain_requires_feedback(self):
+        with pytest.raises(ValueError):
+            LoopAnalysis(100.0, 0.0).ideal_gain
+
+    @pytest.mark.parametrize("topology,z_in_up,z_out_up", [
+        (Topology.SERIES_SHUNT, True, False),
+        (Topology.SHUNT_SERIES, False, True),
+        (Topology.SERIES_SERIES, True, True),
+        (Topology.SHUNT_SHUNT, False, False),
+    ])
+    def test_impedance_transformations(self, topology, z_in_up, z_out_up):
+        loop = LoopAnalysis(1000.0, 0.1)
+        z_in = loop.input_impedance(1e4, topology)
+        z_out = loop.output_impedance(100.0, topology)
+        assert (z_in > 1e4) == z_in_up
+        assert (z_out > 100.0) == z_out_up
+
+    def test_bandwidth_extension(self):
+        loop = LoopAnalysis(100.0, 0.1)
+        assert loop.bandwidth_extension(10e3) == pytest.approx(110e3)
+
+    @given(st.floats(1.0, 1e6), st.floats(0.001, 1.0))
+    def test_closed_loop_below_both_bounds(self, a, beta):
+        loop = LoopAnalysis(a, beta)
+        assert loop.closed_loop_gain <= a + 1e-9
+        assert loop.closed_loop_gain <= loop.ideal_gain + 1e-9
+
+
+class TestOpampFormulas:
+    def test_inverting_ideal(self):
+        assert fb.inverting_gain(10e3, 100e3) == pytest.approx(-10.0)
+
+    def test_inverting_finite_gain_is_smaller(self):
+        finite = abs(fb.inverting_gain(10e3, 100e3, open_loop=1000.0))
+        assert finite < 10.0
+        assert finite == pytest.approx(10.0 / (1 + 11.0 / 1000.0), rel=1e-6)
+
+    def test_noninverting_ideal(self):
+        assert fb.noninverting_gain(1e3, 9e3) == pytest.approx(10.0)
+
+    def test_noninverting_finite(self):
+        gain = fb.noninverting_gain(1e3, 9e3, open_loop=1000.0)
+        assert gain == pytest.approx(10.0 / 1.01, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fb.inverting_gain(-1.0, 10.0)
+
+    def test_inamp(self):
+        gain = fb.instrumentation_amp_gain(1e3, 10e3, 10e3, 10e3)
+        assert gain == pytest.approx(21.0)
+
+    def test_summing(self):
+        v = fb.summing_amp_output([(1.0, 10e3), (2.0, 20e3)], 20e3)
+        assert v == pytest.approx(-4.0)
+
+    def test_relaxation_period(self):
+        period = fb.relaxation_oscillator_period(10e3, 10e-9, 0.5)
+        assert period == pytest.approx(2 * 1e-4 * math.log(3.0))
+
+    def test_relaxation_beta_bounds(self):
+        with pytest.raises(ValueError):
+            fb.relaxation_oscillator_period(1e3, 1e-9, 1.0)

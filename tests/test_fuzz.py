@@ -1,0 +1,89 @@
+"""Fuzz-style robustness tests: hostile inputs must fail cleanly.
+
+Parsers and loaders must raise their documented exception types — never
+crash with unrelated errors or accept garbage silently.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dataset import Dataset
+from repro.core.question import Question
+from repro.digital.expr import ExprError, parse
+from repro.digital.verilog import VerilogError, parse_verilog
+from repro.judge.normalize import (
+    extract_option_letter,
+    normalize_text,
+    parse_number_with_unit,
+    strip_leadin,
+)
+
+
+@given(st.text(max_size=80))
+def test_expr_parser_total(text):
+    """parse either returns an AST or raises ExprError — nothing else."""
+    try:
+        parse(text)
+    except ExprError:
+        pass
+
+
+@given(st.text(max_size=200))
+def test_verilog_parser_total(text):
+    try:
+        parse_verilog(text)
+    except VerilogError:
+        pass
+
+
+@given(st.text(max_size=120))
+def test_normalizers_never_raise(text):
+    normalize_text(text)
+    strip_leadin(text)
+    extract_option_letter(text)
+    parse_number_with_unit(text)
+
+
+@given(st.text(max_size=120))
+def test_question_from_json_raises_cleanly(text):
+    """Arbitrary text is rejected with a JSON or schema error."""
+    try:
+        Question.from_json(text)
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+        pass
+
+
+def test_corrupted_question_fields_rejected(chipvqa):
+    record = chipvqa[0].to_dict()
+    for corruption in (
+        {"category": "Quantum Design"},
+        {"question_type": "essay"},
+        {"correct_choice": 9},
+        {"difficulty": 7.0},
+        {"choices": ["a", "a", "b", "c"]},
+    ):
+        broken = {**record, **corruption}
+        with pytest.raises((ValueError, KeyError)):
+            Question.from_dict(broken)
+
+
+def test_dataset_jsonl_skips_nothing_silently(chipvqa):
+    text = chipvqa.to_jsonl()
+    lines = text.splitlines()
+    lines[3] = lines[3][: len(lines[3]) // 2]  # truncate one record
+    with pytest.raises((json.JSONDecodeError, ValueError, KeyError)):
+        Dataset.from_jsonl("\n".join(lines))
+
+
+@given(st.binary(max_size=200))
+def test_pgm_loader_rejects_garbage(tmp_path_factory, data):
+    from repro.visual.export import load_pgm
+
+    path = tmp_path_factory.mktemp("fuzz") / "x.pgm"
+    path.write_bytes(data)
+    try:
+        load_pgm(path)
+    except (ValueError, IndexError):
+        pass

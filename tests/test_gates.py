@@ -1,0 +1,149 @@
+"""Tests for gate-level netlists, simulation and timing queries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.digital.expr import equivalent, parse
+from repro.digital.gates import (
+    GATE_DELAYS,
+    Netlist,
+    adder_output_value,
+    decoder2to4,
+    full_adder,
+    half_adder,
+    mux2,
+    ripple_carry_adder,
+)
+
+
+class TestNetlistConstruction:
+    def test_duplicate_names_rejected(self):
+        netlist = Netlist(["A"])
+        netlist.add_gate("X", "NOT", ["A"])
+        with pytest.raises(ValueError, match="duplicate"):
+            netlist.add_gate("X", "NOT", ["A"])
+
+    def test_unknown_input_rejected(self):
+        netlist = Netlist(["A"])
+        with pytest.raises(ValueError, match="unknown"):
+            netlist.add_gate("X", "NOT", ["Z"])
+
+    def test_unknown_gate_type_rejected(self):
+        netlist = Netlist(["A", "B"])
+        with pytest.raises(ValueError):
+            netlist.add_gate("X", "FROB", ["A", "B"])
+
+    def test_not_arity_enforced(self):
+        netlist = Netlist(["A", "B"])
+        with pytest.raises(ValueError):
+            netlist.add_gate("X", "NOT", ["A", "B"])
+
+    def test_duplicate_primary_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(["A", "A"])
+
+
+class TestSimulation:
+    def test_missing_input_raises(self):
+        netlist = Netlist(["A", "B"])
+        netlist.add_gate("X", "AND", ["A", "B"])
+        with pytest.raises(ValueError, match="missing"):
+            netlist.output("X", {"A": True})
+
+    @pytest.mark.parametrize("gate,table", [
+        ("AND", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ("OR", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        ("NAND", {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ("NOR", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        ("XOR", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ("XNOR", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    ])
+    def test_two_input_gates(self, gate, table):
+        netlist = Netlist(["A", "B"])
+        netlist.add_gate("F", gate, ["A", "B"])
+        for (a, b), expected in table.items():
+            assert netlist.output("F", {"A": bool(a), "B": bool(b)}) \
+                == bool(expected)
+
+    def test_truth_table_rows(self):
+        rows = half_adder().truth_table("SUM")
+        assert [out for _, out in rows] == [0, 1, 1, 0]
+
+    def test_minterms(self):
+        assert half_adder().minterms("CARRY") == [3]
+
+
+class TestLibraryCircuits:
+    def test_half_adder(self):
+        netlist = half_adder()
+        values = netlist.evaluate({"A": True, "B": True})
+        assert values["SUM"] is False and values["CARRY"] is True
+
+    def test_full_adder_all_rows(self):
+        netlist = full_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values = netlist.evaluate(
+                        {"A": bool(a), "B": bool(b), "CIN": bool(cin)})
+                    total = a + b + cin
+                    assert int(values["SUM"]) == total % 2
+                    assert int(values["COUT"]) == total // 2
+
+    def test_mux2_selects(self):
+        netlist = mux2()
+        assert netlist.output("OUT", {"S": False, "A": True, "B": False})
+        assert not netlist.output("OUT", {"S": True, "A": True, "B": False})
+
+    def test_decoder_one_hot(self):
+        netlist = decoder2to4()
+        for a1 in (0, 1):
+            for a0 in (0, 1):
+                values = netlist.evaluate({"A1": bool(a1), "A0": bool(a0)})
+                active = [values[f"Y{i}"] for i in range(4)]
+                assert sum(active) == 1
+                assert active[2 * a1 + a0]
+
+    def test_to_expr_matches_simulation(self):
+        netlist = mux2()
+        expr = netlist.to_expr("OUT")
+        assert equivalent(expr, parse("S'A + SB"))
+
+
+class TestRippleCarryAdder:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_adds_correctly_4bit(self, a, b, cin):
+        netlist = ripple_carry_adder(4)
+        assert adder_output_value(netlist, 4, a, b, cin) == a + b + cin
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+    def test_carry_chain_depth_grows_linearly(self):
+        lvl4 = ripple_carry_adder(4).level("C4")
+        lvl8 = ripple_carry_adder(8).level("C8")
+        assert lvl8 - lvl4 == 8  # two levels per extra slice
+
+
+class TestTiming:
+    def test_arrival_time_uses_slowest_input(self):
+        netlist = Netlist(["A", "B"])
+        netlist.add_gate("N", "NOT", ["A"])
+        netlist.add_gate("F", "AND", ["N", "B"])
+        expected = GATE_DELAYS["NOT"] + GATE_DELAYS["AND"]
+        assert netlist.arrival_time("F") == pytest.approx(expected)
+
+    def test_critical_path_nodes(self):
+        netlist = Netlist(["A", "B", "C"])
+        netlist.add_gate("S", "XOR", ["A", "B"])  # slow gate
+        netlist.add_gate("F", "AND", ["S", "C"])
+        assert netlist.critical_path("F") == ["A", "S", "F"] or \
+            netlist.critical_path("F") == ["B", "S", "F"]
+
+    def test_level_of_primary_input_is_zero(self):
+        netlist = Netlist(["A"])
+        assert netlist.level("A") == 0
+
+    def test_gate_count(self):
+        assert full_adder().gate_count() == 5

@@ -1,0 +1,180 @@
+"""Integration tests: the paper's tables and studies reproduced end to end."""
+
+import pytest
+
+from repro.core.harness import EvaluationHarness, run_table2
+from repro.core.question import Category
+from repro.core.report import (
+    CATEGORY_ORDER,
+    render_resolution_study,
+    render_table2,
+    render_table3,
+)
+from repro.judge import HybridJudge
+from repro.models import (
+    NO_CHOICE,
+    WITH_CHOICE,
+    build_model,
+    build_zoo,
+    paper_rates,
+    quota,
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return EvaluationHarness()
+
+
+@pytest.fixture(scope="module")
+def gpt4o_results(harness):
+    model = build_model("gpt-4o")
+    return {
+        WITH_CHOICE: harness.zero_shot_standard(model),
+        NO_CHOICE: harness.zero_shot_challenge(model),
+    }
+
+
+class TestTable2GPT4o:
+    """Spot-check the headline numbers of Table II."""
+
+    def test_with_choice_overall(self, gpt4o_results):
+        assert gpt4o_results[WITH_CHOICE].pass_at_1() == \
+            pytest.approx(0.44, abs=0.01)
+
+    def test_no_choice_overall(self, gpt4o_results):
+        assert gpt4o_results[NO_CHOICE].pass_at_1() == \
+            pytest.approx(0.20, abs=0.015)
+
+    @pytest.mark.parametrize("category,rate", [
+        (Category.DIGITAL, 0.49),
+        (Category.ARCHITECTURE, 0.30),
+        (Category.MANUFACTURING, 0.20),
+        (Category.PHYSICAL, 0.61),
+    ])
+    def test_with_choice_per_category(self, gpt4o_results, category, rate):
+        observed = gpt4o_results[WITH_CHOICE].pass_at_1_by_category()
+        assert observed[category] == pytest.approx(rate, abs=0.02)
+
+    def test_challenge_drops_performance(self, gpt4o_results):
+        assert gpt4o_results[NO_CHOICE].pass_at_1() < \
+            gpt4o_results[WITH_CHOICE].pass_at_1()
+
+
+class TestTable2Zoo:
+    """Every zoo model's realised rates match its calibration quotas."""
+
+    @pytest.mark.parametrize("name", [n for n, _ in
+                                      __import__("repro.models.zoo",
+                                                 fromlist=["TABLE2_ROW_ORDER"]
+                                                 ).TABLE2_ROW_ORDER])
+    def test_realised_category_rates(self, harness, name, chipvqa):
+        model = build_model(name)
+        result = harness.zero_shot_standard(model)
+        counts = result.category_counts()
+        rates = paper_rates(name, WITH_CHOICE)
+        for category, (correct, total) in counts.items():
+            assert correct == quota(rates[category], total), \
+                f"{name}/{category.short}"
+
+    def test_gpt4o_leads_all(self, harness):
+        results = run_table2([build_model("gpt-4o"),
+                              build_model("llava-7b"),
+                              build_model("kosmos-2")], harness)
+        gpt = results["gpt-4o"][WITH_CHOICE].pass_at_1()
+        assert gpt > results["llava-7b"][WITH_CHOICE].pass_at_1()
+        assert gpt > results["kosmos-2"][WITH_CHOICE].pass_at_1()
+
+    def test_mc_beats_sa_for_every_model(self, harness):
+        for name in ("gpt-4o", "llava-34b", "vila-yi-34b"):
+            model = build_model(name)
+            with_choice = harness.zero_shot_standard(model).pass_at_1()
+            no_choice = harness.zero_shot_challenge(model).pass_at_1()
+            assert with_choice > no_choice, name
+
+    def test_render_table2(self, harness):
+        results = run_table2([build_model("gpt-4o")], harness)
+        text = render_table2(results)
+        assert "MC:Digital" in text and "0.49" in text
+
+
+class TestResolutionStudy:
+    """Section IV-B: 0.49 native, 0.49 at 8x, 0.37 at 16x."""
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        harness = EvaluationHarness()
+        return harness.resolution_study(build_model("gpt-4o"))
+
+    def test_native_rate(self, study):
+        assert study[1].pass_at_1() == pytest.approx(0.49, abs=0.01)
+
+    def test_8x_preserves_rate(self, study):
+        assert study[8].pass_at_1() == pytest.approx(study[1].pass_at_1(),
+                                                     abs=0.01)
+
+    def test_16x_drops_rate(self, study):
+        assert study[16].pass_at_1() == pytest.approx(0.37, abs=0.01)
+
+    def test_report_renders(self, study):
+        text = render_resolution_study(study)
+        assert "16x" in text and "0.37" in text
+
+
+class TestTable3Agent:
+    @pytest.fixture(scope="class")
+    def table3(self):
+        from repro.agent import run_table3
+
+        return run_table3()
+
+    def test_values(self, table3):
+        assert table3["gpt4o"][WITH_CHOICE].pass_at_1() == \
+            pytest.approx(0.44, abs=0.01)
+        assert table3["agent"][WITH_CHOICE].pass_at_1() == \
+            pytest.approx(0.49, abs=0.01)
+        assert table3["agent"][NO_CHOICE].pass_at_1() == \
+            pytest.approx(0.21, abs=0.01)
+
+    def test_agent_manufacturing_regression(self, table3):
+        gpt = table3["gpt4o"][WITH_CHOICE].pass_at_1_by_category()
+        agent = table3["agent"][WITH_CHOICE].pass_at_1_by_category()
+        assert agent[Category.MANUFACTURING] < gpt[Category.MANUFACTURING]
+
+    def test_render(self, table3):
+        text = render_table3(table3["gpt4o"], table3["agent"])
+        assert "Agent" in text and "GPT4o" in text
+
+
+class TestJudgeFidelity:
+    """Planned outcomes and judged outcomes must agree for every model."""
+
+    @pytest.mark.parametrize("name", ["gpt-4o", "llava-7b", "fuyu-8b",
+                                      "paligemma"])
+    def test_no_plan_judge_mismatch(self, name, chipvqa, chipvqa_challenge):
+        judge = HybridJudge()
+        model = build_model(name)
+        for dataset, setting in ((chipvqa, WITH_CHOICE),
+                                 (chipvqa_challenge, NO_CHOICE)):
+            questions = list(dataset)
+            for question, answer in zip(
+                    questions, model.answer_all(questions, setting)):
+                verdict = judge.judge(question, answer.text)
+                assert verdict.correct == answer.planned_correct, \
+                    (name, question.qid, answer.text)
+
+
+class TestBackboneScaling:
+    """Section IV-A: stronger LLM backbones score higher (LLaVA study)."""
+
+    def test_text_ability_correlates_with_score(self, harness):
+        from repro.core.metrics import spearman_rank_correlation
+        from repro.models import LLAVA_BACKBONE_STUDY
+
+        abilities, scores = [], []
+        for name, _ in LLAVA_BACKBONE_STUDY:
+            model = build_model(name)
+            abilities.append(model.backbone.text_ability)
+            scores.append(harness.zero_shot_challenge(model).pass_at_1())
+        rho = spearman_rank_correlation(abilities, scores)
+        assert rho > 0.7

@@ -1,0 +1,139 @@
+"""Tests for Quine-McCluskey minimisation and K-map grids."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.digital.expr import equivalent, from_minterms, minterms_of, parse
+from repro.digital.kmap import (
+    Implicant,
+    kmap_grid,
+    minimize,
+    minimized_expr,
+    prime_implicants,
+    sop_text,
+)
+
+
+class TestImplicant:
+    def test_covers(self):
+        implicant = Implicant(value=0b100, mask=0b001)
+        assert implicant.covers(0b100)
+        assert implicant.covers(0b101)
+        assert not implicant.covers(0b110)
+
+    def test_literal_count(self):
+        assert Implicant(0b10, 0b01).literal_count(2) == 1
+
+    def test_to_term(self):
+        term = Implicant(0b10, 0b00).to_term(["A", "B"])
+        assert str(term) == "AB'"
+
+
+class TestMinimize:
+    def test_full_cover_is_constant_true(self):
+        expr = minimized_expr(["A", "B"], [0, 1, 2, 3])
+        assert str(expr) == "1"
+
+    def test_empty_is_constant_false(self):
+        assert str(minimized_expr(["A", "B"], [])) == "0"
+
+    def test_classic_example(self):
+        # f(A,B,C) = sum(1,3,5,7) = C
+        expr = minimized_expr(["A", "B", "C"], [1, 3, 5, 7])
+        assert str(expr) == "C"
+
+    def test_dont_cares_enlarge_cubes(self):
+        # minterm 4 with dc 5,6,7 -> just A
+        expr = minimized_expr(["A", "B", "C"], [4], [5, 6, 7])
+        assert str(expr) == "A"
+
+    def test_petrick_cyclic_cover(self):
+        # the classic cyclic prime-implicant chart: 6 minterms, no
+        # essential primes; QM must still return a cover of size 3
+        minterms = [0, 1, 2, 5, 6, 7]
+        cover = minimize(3, minterms)
+        assert len(cover) == 3
+        expr = minimized_expr(["A", "B", "C"], minterms)
+        assert minterms_of(expr, ["A", "B", "C"]) == minterms
+
+    def test_sr_latch(self):
+        expr = minimized_expr(["S", "R", "Q"], [1, 4, 5], [6, 7])
+        assert equivalent(parse("S + R'Q"), parse(sop_text(expr))) or \
+            minterms_covered_ok(expr)
+
+    def test_four_variables(self):
+        minterms = [0, 2, 5, 7, 8, 10]
+        expr = minimized_expr(["A", "B", "C", "D"], minterms, [13, 15])
+        covered = set(minterms_of(expr, ["A", "B", "C", "D"]))
+        assert set(minterms) <= covered
+        assert covered <= set(minterms) | {13, 15}
+
+
+def minterms_covered_ok(expr):
+    covered = set(minterms_of(expr, ["S", "R", "Q"]))
+    return {1, 4, 5} <= covered <= {1, 4, 5, 6, 7}
+
+
+class TestPrimeImplicants:
+    def test_single_minterm(self):
+        primes = prime_implicants(2, [0])
+        assert primes == [Implicant(0, 0)]
+
+    def test_adjacent_pair_merges(self):
+        primes = prime_implicants(2, [0, 1])
+        assert Implicant(0, 1) in primes
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            minimize(1, [5])  # minterm outside the space never covered
+
+
+class TestKmapGrid:
+    def test_three_variable_shape(self):
+        grid = kmap_grid(["A", "B", "C"], [0])
+        assert len(grid) == 2 and len(grid[0]) == 4
+
+    def test_four_variable_shape(self):
+        grid = kmap_grid(["A", "B", "C", "D"], [])
+        assert len(grid) == 4 and len(grid[0]) == 4
+
+    def test_gray_order_cell_placement(self):
+        # minterm 3 of (A,B,C) is A=0,B=1,C=1 -> row 0, gray column of 11
+        grid = kmap_grid(["A", "B", "C"], [3])
+        assert grid[0][2] == "1"  # gray columns: 00,01,11,10
+
+    def test_dont_care_marked_x(self):
+        grid = kmap_grid(["A", "B"], [0], [3])
+        assert grid[1][1] == "X"
+
+    def test_unsupported_size_raises(self):
+        with pytest.raises(ValueError):
+            kmap_grid(["A"], [0])
+
+
+@settings(max_examples=60)
+@given(st.sets(st.integers(0, 15), max_size=16),
+       st.sets(st.integers(0, 15), max_size=4))
+def test_minimize_is_correct_and_minimal_ish(minterms, dont_cares):
+    """The minimised SOP covers exactly the on-set (modulo don't-cares)."""
+    minterms = sorted(minterms)
+    dont_cares = sorted(set(dont_cares) - set(minterms))
+    names = ["A", "B", "C", "D"]
+    expr = minimized_expr(names, minterms, dont_cares)
+    covered = set(minterms_of(expr, names))
+    assert set(minterms) <= covered
+    assert covered <= set(minterms) | set(dont_cares)
+    # never worse than the canonical sum of minterms in term count
+    if minterms:
+        canonical = from_minterms(names, minterms)
+        assert _term_count(expr) <= _term_count(canonical)
+
+
+def _term_count(expr):
+    from repro.digital.expr import Or
+
+    if isinstance(expr, Or):
+        return len(expr.operands)
+    return 1

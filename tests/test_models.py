@@ -1,0 +1,233 @@
+"""Tests for the simulated VLM substrate: encoder, IRT, phrasing, zoo."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.question import (
+    AnswerKind,
+    AnswerSpec,
+    Category,
+    VisualContent,
+    VisualType,
+    make_mc_question,
+    make_sa_question,
+)
+from repro.judge import answers_equivalent
+from repro.models import (
+    LLAVA_BACKBONE_STUDY,
+    NO_CHOICE,
+    TABLE2_ROW_ORDER,
+    WITH_CHOICE,
+    LlmBackbone,
+    Projector,
+    SimulatedVLM,
+    VisualEncoder,
+    build_model,
+    build_zoo,
+    model_names,
+    paper_rates,
+    quota,
+    rate_scaling,
+)
+from repro.models.encoder import PRIOR_FLOOR
+from repro.models.irt import (
+    abilities_from_rates,
+    aptitude,
+    jitter,
+    plan_outcomes,
+    sigmoid,
+)
+
+
+def _question(qid="m-1", difficulty=0.5, legibility=8.0):
+    return make_mc_question(
+        qid, Category.DIGITAL, "Pick.",
+        VisualContent(VisualType.DIAGRAM, "d", legibility_scale=legibility),
+        ("w", "x", "y", "z"), 0, difficulty=difficulty)
+
+
+class TestEncoder:
+    def test_perception_bounded(self):
+        encoder = VisualEncoder()
+        visual = VisualContent(VisualType.DIAGRAM, "d")
+        for factor in (1, 2, 8, 16):
+            score = encoder.perceive(visual, factor, use_raster=False)
+            assert PRIOR_FLOOR <= score <= 1.0
+
+    def test_degrades_with_factor(self):
+        encoder = VisualEncoder()
+        visual = VisualContent(VisualType.DIAGRAM, "d", legibility_scale=8.0)
+        native = encoder.perceive(visual, 1, use_raster=False)
+        degraded = encoder.perceive(visual, 32, use_raster=False)
+        assert degraded < native
+
+    def test_intrinsic_factor(self):
+        encoder = VisualEncoder(input_resolution=256)
+        visual = VisualContent(VisualType.DIAGRAM, "d", width=512,
+                               height=384)
+        assert encoder.intrinsic_factor(visual) == pytest.approx(2.0)
+
+    def test_tokens_per_image(self):
+        encoder = VisualEncoder(input_resolution=336, patch_size=14)
+        assert encoder.tokens_per_image == 24 * 24
+
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            VisualEncoder(quality=0.0)
+
+    def test_rate_scaling(self):
+        assert rate_scaling(1.0) == 1.0
+        assert rate_scaling(0.5) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            rate_scaling(1.5)
+
+
+class TestProjector:
+    def test_alignment_scales_perception(self):
+        projector = Projector(alignment=0.8)
+        assert projector.project(1.0) == pytest.approx(0.8)
+
+    def test_token_budget(self):
+        assert Projector(tokens_out=576).token_budget(2) == 1152
+
+
+class TestIrt:
+    def test_sigmoid_symmetry(self):
+        assert sigmoid(0.0) == 0.5
+        assert sigmoid(3.0) + sigmoid(-3.0) == pytest.approx(1.0)
+
+    def test_jitter_deterministic_and_bounded(self):
+        a = jitter("model", "q-1")
+        assert a == jitter("model", "q-1")
+        assert 0.0 <= a < 0.05
+        assert jitter("model", "q-2") != a
+
+    def test_quota(self):
+        assert quota(0.49, 35) == 17
+        assert quota(0.0, 20) == 0
+        assert quota(1.0, 5) == 5
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            quota(1.5, 10)
+
+    def test_aptitude_increases_with_ability(self):
+        question = _question()
+        low = aptitude("m", 0.1, question, 1.0)
+        high = aptitude("m", 0.9, question, 1.0)
+        assert high > low
+
+    def test_aptitude_scales_with_perception(self):
+        question = _question()
+        full = aptitude("m", 0.5, question, 1.0)
+        blind = aptitude("m", 0.5, question, 0.1)
+        assert blind < full
+
+    def test_plan_outcomes_respects_quota(self):
+        questions = [_question(f"m-{i}", difficulty=i / 10) for i in range(10)]
+        rates = {Category.DIGITAL: 0.3}
+        abilities = abilities_from_rates(rates)
+        plan = plan_outcomes("m", abilities, rates, questions,
+                             {q.qid: 1.0 for q in questions})
+        assert sum(plan.is_correct(q.qid) for q in questions) == 3
+
+    def test_plan_prefers_easier_questions(self):
+        questions = [_question(f"m-{i}", difficulty=i / 10) for i in range(10)]
+        rates = {Category.DIGITAL: 0.3}
+        plan = plan_outcomes("m", abilities_from_rates(rates), rates,
+                             questions, {q.qid: 1.0 for q in questions})
+        correct = [q.difficulty for q in questions
+                   if plan.is_correct(q.qid)]
+        wrong = [q.difficulty for q in questions
+                 if not plan.is_correct(q.qid)]
+        assert max(correct) <= min(wrong) + 0.2  # roughly easiest-first
+
+
+class TestPhrasing:
+    def _backbone(self):
+        return LlmBackbone("test-llm", 7.0, 0.5)
+
+    def test_correct_mc_accepted_by_judge(self):
+        question = _question()
+        response = self._backbone().phrase_correct(question)
+        assert answers_equivalent(question, response)
+
+    def test_incorrect_mc_rejected_by_judge(self):
+        question = _question()
+        response = self._backbone().phrase_incorrect(question)
+        assert not answers_equivalent(question, response)
+
+    def test_correct_sa_numeric(self):
+        question = make_sa_question(
+            "m-sa", Category.PHYSICAL, "How much?",
+            VisualContent(VisualType.LAYOUT, "l"),
+            AnswerSpec(AnswerKind.NUMERIC, "4.5", unit="um",
+                       aliases=("4.5 um",)))
+        response = self._backbone().phrase_correct(question)
+        assert answers_equivalent(question, response)
+
+    def test_incorrect_sa_numeric_rejected(self):
+        question = make_sa_question(
+            "m-sa2", Category.PHYSICAL, "How much?",
+            VisualContent(VisualType.LAYOUT, "l"),
+            AnswerSpec(AnswerKind.NUMERIC, "4.5", unit="um"))
+        response = self._backbone().phrase_incorrect(question)
+        assert not answers_equivalent(question, response)
+
+    def test_weak_model_refuses_sometimes(self):
+        backbone = LlmBackbone("tiny", 1.0, 0.2)
+        refusals = sum(
+            backbone.refuses(_question(f"m-{i}")) for i in range(200))
+        assert 0 < refusals < 60
+
+    def test_strong_model_never_refuses(self):
+        backbone = LlmBackbone("big", 100.0, 0.9)
+        assert not any(
+            backbone.refuses(_question(f"m-{i}")) for i in range(100))
+
+
+class TestZoo:
+    def test_twelve_models(self):
+        assert len(model_names()) == 12
+        assert len(build_zoo()) == 12
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("gpt-17")
+
+    def test_gpt4o_leads_open_source(self):
+        rates = paper_rates("gpt-4o", WITH_CHOICE)
+        for name, _ in TABLE2_ROW_ORDER[:-1]:
+            other = paper_rates(name, WITH_CHOICE)
+            total = sum(rates.values())
+            assert total >= sum(other.values())
+
+    def test_backbone_study_is_ordered_subset(self):
+        names = {name for name, _ in TABLE2_ROW_ORDER}
+        for name, _ in LLAVA_BACKBONE_STUDY:
+            assert name in names
+
+    def test_model_metadata(self):
+        model = build_model("paligemma")
+        assert model.supports_system_prompt is False
+        assert build_model("gpt-4o").supports_system_prompt is True
+
+    def test_plan_matches_calibration(self, chipvqa):
+        model = build_model("llava-34b")
+        questions = list(chipvqa)
+        plan = model.plan(questions, WITH_CHOICE)
+        by_cat = {}
+        for question in questions:
+            by_cat.setdefault(question.category, []).append(
+                plan.is_correct(question.qid))
+        for category, flags in by_cat.items():
+            expected = quota(paper_rates("llava-34b", WITH_CHOICE)[category],
+                             len(flags))
+            assert sum(flags) == expected
+
+    def test_answers_deterministic(self, chipvqa):
+        model = build_model("phi3-vision")
+        questions = list(chipvqa)[:20]
+        first = [a.text for a in model.answer_all(questions, WITH_CHOICE)]
+        second = [a.text for a in model.answer_all(questions, WITH_CHOICE)]
+        assert first == second

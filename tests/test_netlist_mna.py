@@ -1,0 +1,161 @@
+"""Tests for the MNA circuit solver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog.netlist import (
+    Circuit,
+    equivalent_resistance,
+    parallel,
+    series,
+    voltage_divider,
+)
+
+
+class TestBasics:
+    def test_series_parallel_formulas(self):
+        assert series(100, 200, 300) == 600
+        assert parallel(100, 100) == pytest.approx(50)
+        assert parallel(1000) == 1000
+
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            parallel(-1.0)
+        with pytest.raises(ValueError):
+            parallel()
+
+    def test_divider(self):
+        assert voltage_divider(10, 1000, 1000) == pytest.approx(5.0)
+
+    def test_nonpositive_resistor_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().resistor("r", 1, 0, 0.0)
+
+    def test_duplicate_element_names_rejected(self):
+        circuit = Circuit().resistor("r", 1, 0, 10.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            circuit.resistor("r", 1, 0, 20.0)
+
+    def test_empty_circuit_raises(self):
+        with pytest.raises(ValueError):
+            Circuit().solve()
+
+
+class TestDcSolutions:
+    def test_simple_divider(self):
+        circuit = Circuit()
+        circuit.vsource("vs", "in", 0, 10.0)
+        circuit.resistor("r1", "in", "out", 1000.0)
+        circuit.resistor("r2", "out", 0, 1000.0)
+        solution = circuit.solve()
+        assert solution.voltage("out") == pytest.approx(5.0)
+        assert solution.voltage(0) == 0.0
+
+    def test_source_current_direction(self):
+        circuit = Circuit()
+        circuit.vsource("vs", "p", 0, 10.0)
+        circuit.resistor("r", "p", 0, 10.0)
+        # 1 A flows out of the + terminal through the resistor, so the
+        # current *into* the + terminal from the source is -1 A by the
+        # MNA sign convention.
+        assert circuit.solve().source_current("vs") == pytest.approx(-1.0)
+
+    def test_current_source(self):
+        circuit = Circuit()
+        circuit.isource("i1", "n", 0, 2.0)
+        circuit.resistor("r", "n", 0, 5.0)
+        # 2 A pulled out of node n through the source: v = -10
+        solution = circuit.solve()
+        assert abs(solution.voltage("n")) == pytest.approx(10.0)
+
+    def test_resistor_current_and_power(self):
+        circuit = Circuit()
+        circuit.vsource("vs", "a", 0, 10.0)
+        circuit.resistor("r1", "a", "b", 100.0)
+        circuit.resistor("r2", "b", 0, 400.0)
+        solution = circuit.solve()
+        assert solution.resistor_current("r1") == pytest.approx(0.02)
+        assert solution.power_dissipated("r2") == pytest.approx(0.16)
+
+    def test_unknown_resistor_raises(self):
+        circuit = Circuit()
+        circuit.vsource("vs", "a", 0, 1.0)
+        circuit.resistor("r1", "a", 0, 1.0)
+        with pytest.raises(KeyError):
+            circuit.solve().resistor_current("nope")
+
+    def test_floating_node_is_singular(self):
+        circuit = Circuit()
+        circuit.vsource("vs", "a", 0, 1.0)
+        circuit.resistor("r1", "a", 0, 1.0)
+        circuit.resistor("r2", "x", "y", 1.0)  # floating island
+        with pytest.raises(ValueError, match="singular"):
+            circuit.solve()
+
+    def test_paper_ladder_example(self):
+        """The Fig. 3 ladder: V(RL) ~ 0.97 V for the stated values."""
+        circuit = Circuit()
+        circuit.vsource("vs", "nin", 0, 5.0)
+        circuit.resistor("r1", "nin", "n1", 1000.0)
+        circuit.resistor("r2", "n1", 0, 2200.0)
+        circuit.resistor("r3", "n1", "n2", 2200.0)
+        circuit.resistor("r4", "n2", 0, 1500.0)
+        circuit.resistor("rl", "n2", 0, 4700.0)
+        v_out = circuit.solve().voltage("n2")
+        # hand analysis: R4||RL = 1137.1; (R3 + that) || R2 = 1323.2 ...
+        r4_rl = parallel(1500.0, 4700.0)
+        branch = 2200.0 + r4_rl
+        n1 = 5.0 * parallel(2200.0, branch) / (1000.0 + parallel(2200.0, branch))
+        expected = n1 * r4_rl / branch
+        assert v_out == pytest.approx(expected, rel=1e-9)
+
+
+class TestVccs:
+    def test_common_source_gain(self):
+        circuit = Circuit()
+        circuit.vsource("vin", "g", 0, 1.0)
+        circuit.vccs("m", "d", 0, "g", 0, 2e-3)
+        circuit.resistor("rd", "d", 0, 10e3)
+        assert circuit.solve().voltage("d") == pytest.approx(-20.0)
+
+    def test_vccs_with_output_loading(self):
+        circuit = Circuit()
+        circuit.vsource("vin", "g", 0, 1.0)
+        circuit.vccs("m", "d", 0, "g", 0, 1e-3)
+        circuit.resistor("rd", "d", 0, 10e3)
+        circuit.resistor("ro", "d", 0, 10e3)
+        assert circuit.solve().voltage("d") == pytest.approx(-5.0)
+
+
+class TestEquivalentResistance:
+    def test_series_pair(self):
+        circuit = Circuit()
+        circuit.resistor("r1", "a", "m", 100.0)
+        circuit.resistor("r2", "m", "b", 200.0)
+        assert equivalent_resistance(circuit, "a", "b") == pytest.approx(300.0)
+
+    def test_parallel_pair(self):
+        circuit = Circuit()
+        circuit.resistor("r1", "a", "b", 100.0)
+        circuit.resistor("r2", "a", "b", 100.0)
+        assert equivalent_resistance(circuit, "a", "b") == pytest.approx(50.0)
+
+    def test_bridge(self):
+        # balanced Wheatstone bridge: detector arm carries no current, so
+        # Req = (R+R) || (R+R) = R
+        circuit = Circuit()
+        for name, (a, b) in {
+            "r1": ("a", "m"), "r2": ("m", "b"),
+            "r3": ("a", "n"), "r4": ("n", "b"),
+            "rg": ("m", "n"),
+        }.items():
+            circuit.resistor(name, a, b, 100.0)
+        assert equivalent_resistance(circuit, "a", "b") == pytest.approx(100.0)
+
+    @given(st.floats(10.0, 1e5), st.floats(10.0, 1e5))
+    def test_matches_parallel_formula(self, r1, r2):
+        circuit = Circuit()
+        circuit.resistor("r1", "a", "b", r1)
+        circuit.resistor("r2", "a", "b", r2)
+        assert equivalent_resistance(circuit, "a", "b") == \
+            pytest.approx(parallel(r1, r2), rel=1e-9)

@@ -1,0 +1,176 @@
+"""Tests for the extension substrates: noise, SPC, congestion."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog import noise
+from repro.manufacturing import spc
+from repro.physical.congestion import (
+    hotspots,
+    report,
+    rudy_map,
+    spread_cells,
+)
+from repro.physical.geometry import Point
+
+
+class TestNoise:
+    def test_resistor_thermal_classic_value(self):
+        # 1 kOhm at 300 K: ~4.07 nV/sqrt(Hz)
+        density = noise.resistor_thermal_vsd(1000.0)
+        assert math.sqrt(density) == pytest.approx(4.07e-9, rel=0.01)
+
+    def test_integrated_rms_scales_with_sqrt_bw(self):
+        narrow = noise.resistor_thermal_vrms(1000.0, 1e3)
+        wide = noise.resistor_thermal_vrms(1000.0, 4e3)
+        assert wide == pytest.approx(2.0 * narrow)
+
+    def test_mos_thermal(self):
+        density = noise.mos_thermal_isd(1e-3)
+        assert density == pytest.approx(
+            4 * noise.BOLTZMANN * 300.0 * (2 / 3) * 1e-3)
+
+    def test_flicker_corner(self):
+        corner = noise.flicker_corner_hz(kf_v2=1e-10, gm=1e-3)
+        # flicker equals thermal there
+        thermal = noise.mos_thermal_isd(1e-3) / (1e-3) ** 2
+        assert noise.mos_flicker_vsd(1e-10, corner) == \
+            pytest.approx(thermal, rel=1e-9)
+
+    def test_cs_input_referred_dominated_by_device(self):
+        total = noise.cs_input_referred_vsd(gm=5e-3, r_load=10e3)
+        device_only = noise.mos_thermal_isd(5e-3) / (5e-3) ** 2
+        assert total > device_only
+        assert total < 2.0 * device_only  # load contribution is smaller
+
+    def test_friis_cascade(self):
+        v1, v2 = 1e-17, 4e-17
+        assert noise.cascaded_input_noise(v1, v2, gain1=10.0) == \
+            pytest.approx(v1 + v2 / 100.0)
+
+    def test_ktc(self):
+        # 1 pF at 300 K: ~64 uV rms
+        assert noise.kt_over_c_vrms(1e-12) == pytest.approx(64.3e-6,
+                                                            rel=0.01)
+
+    def test_snr(self):
+        assert noise.snr_db(1.0, 0.001) == pytest.approx(60.0)
+
+    def test_noise_figure(self):
+        assert noise.noise_figure_db(0.0, 1e-18) == 0.0
+        assert noise.noise_figure_db(1e-18, 1e-18) == pytest.approx(3.01,
+                                                                    abs=0.01)
+
+    @given(st.floats(1.0, 1e7))
+    def test_thermal_density_linear_in_r(self, r):
+        assert noise.resistor_thermal_vsd(2 * r) == \
+            pytest.approx(2 * noise.resistor_thermal_vsd(r))
+
+
+class TestSpc:
+    SUBGROUPS = [[10.1, 9.9, 10.0, 10.2], [10.0, 10.1, 9.8, 10.0],
+                 [9.9, 10.0, 10.1, 10.0], [10.2, 10.0, 9.9, 10.1]]
+
+    def test_xbar_limits_bracket_center(self):
+        limits = spc.xbar_limits(self.SUBGROUPS)
+        assert limits.lcl < limits.center < limits.ucl
+        assert limits.center == pytest.approx(10.01875, abs=1e-6)
+
+    def test_r_limits_nonnegative(self):
+        limits = spc.r_limits(self.SUBGROUPS)
+        assert limits.lcl == 0.0  # D3 = 0 for n = 4
+        assert limits.ucl > limits.center
+
+    def test_estimated_sigma_positive(self):
+        assert spc.estimated_sigma(self.SUBGROUPS) > 0
+
+    def test_subgroup_validation(self):
+        with pytest.raises(ValueError):
+            spc.xbar_limits([])
+        with pytest.raises(ValueError):
+            spc.xbar_limits([[1.0]])
+        with pytest.raises(ValueError):
+            spc.xbar_limits([[1.0, 2.0], [1.0]])
+
+    def test_out_of_control_detection(self):
+        limits = spc.ControlLimits(10.0, 9.0, 11.0)
+        points = [10.0, 10.5, 12.0, 9.5, 8.5]
+        assert spc.out_of_control_points(points, limits) == [2, 4]
+
+    def test_run_rule(self):
+        values = [10.1] * 8 + [9.9]
+        violations = spc.run_rule_violations(values, center=10.0,
+                                             run_length=8)
+        assert violations == [7]
+
+    def test_run_rule_resets_on_crossing(self):
+        values = [10.1] * 4 + [9.9] + [10.1] * 4
+        assert spc.run_rule_violations(values, 10.0, run_length=8) == []
+
+    def test_cp_cpk(self):
+        assert spc.cp(13.0, 7.0, 1.0) == pytest.approx(1.0)
+        assert spc.cpk(13.0, 7.0, 10.0, 1.0) == pytest.approx(1.0)
+        # off-centre process: cpk < cp
+        assert spc.cpk(13.0, 7.0, 11.5, 1.0) < spc.cp(13.0, 7.0, 1.0)
+
+    def test_defect_ppm_benchmarks(self):
+        # Cpk = 1 -> ~1350 ppm one-sided; Cpk = 1.33 -> ~32 ppm
+        assert spc.defect_ppm(1.0) == pytest.approx(1350.0, rel=0.01)
+        assert spc.defect_ppm(1.33) == pytest.approx(33.0, rel=0.15)
+
+    @given(st.floats(0.5, 2.0), st.floats(0.01, 2.0))
+    def test_cpk_never_exceeds_cp(self, offset, sigma):
+        usl, lsl, mean = 13.0, 7.0, 10.0 + offset
+        assert spc.cpk(usl, lsl, mean, sigma) <= \
+            spc.cp(usl, lsl, sigma) + 1e-12
+
+
+class TestCongestion:
+    def _cross_nets(self):
+        return [
+            [Point(2, 2), Point(14, 2)],
+            [Point(2, 6), Point(14, 6)],
+            [Point(8, 0), Point(8, 8)],
+        ]
+
+    def test_rudy_map_shape_and_mass(self):
+        grid = rudy_map(self._cross_nets(), region=(16.0, 8.0),
+                        bins=(8, 4))
+        assert grid.shape == (4, 8)
+        assert grid.sum() > 0
+
+    def test_single_hot_bin(self):
+        nets = [[Point(1, 1), Point(1.5, 1.5)]] * 5
+        grid = rudy_map(nets, region=(16.0, 16.0), bins=(4, 4))
+        assert grid[0, 0] > 0
+        assert grid[3, 3] == 0
+
+    def test_report_overflow(self):
+        grid = np.array([[0.5, 2.0], [0.1, 0.4]])
+        summary = report(grid, capacity=1.0)
+        assert summary.peak == pytest.approx(2.0)
+        assert summary.overflow_fraction == pytest.approx(0.25)
+        assert not summary.routable()
+
+    def test_hotspots_sorted(self):
+        grid = np.array([[0.1, 0.9], [0.5, 0.2]])
+        top = hotspots(grid, capacity=1.0, top=2)
+        assert top[0][:2] == (0, 1)
+        assert top[1][:2] == (1, 0)
+
+    def test_spreading_relieves_congestion(self):
+        nets = [[Point(7, 7), Point(9, 9)] for _ in range(10)]
+        region = (16.0, 16.0)
+        before = report(rudy_map(nets, region, bins=(8, 8)), capacity=1.0)
+        relaxed = spread_cells(nets, region, factor=3.0)
+        after = report(rudy_map(relaxed, region, bins=(8, 8)), capacity=1.0)
+        assert after.peak < before.peak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rudy_map([], region=(0.0, 4.0))
+        with pytest.raises(ValueError):
+            report(np.zeros((2, 2)), capacity=0.0)

@@ -1,0 +1,87 @@
+"""End-to-end property: phrasing and judging stay consistent for random
+questions, not just the 142 shipped ones."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.question import (
+    AnswerKind,
+    AnswerSpec,
+    Category,
+    VisualContent,
+    VisualType,
+    make_mc_question,
+    make_sa_question,
+)
+from repro.judge import answers_equivalent
+from repro.models.llm import LlmBackbone
+
+_BACKBONES = [LlmBackbone("prop-a", 7.0, 0.5),
+              LlmBackbone("prop-b", 70.0, 0.9)]
+
+
+@st.composite
+def numeric_mc_questions(draw):
+    value = draw(st.floats(0.1, 9999.0).map(lambda v: round(v, 2)))
+    unit = draw(st.sampled_from(["ns", "V", "kOhm", "mA", "um", ""]))
+    factors = draw(st.permutations([2.0, 0.5, 10.0]))
+    choices = [f"{value:g} {unit}".strip()] + [
+        f"{value * f:g} {unit}".strip() for f in factors
+    ]
+    if len({c for c in choices}) != 4:
+        # rounding collisions: perturb deterministically
+        choices = [f"{value:g} {unit}".strip(),
+                   f"{value * 3:g} {unit}".strip(),
+                   f"{value * 7:g} {unit}".strip(),
+                   f"{value * 13:g} {unit}".strip()]
+    correct = draw(st.integers(0, 3))
+    choices[0], choices[correct] = choices[correct], choices[0]
+    qid = f"prop-{draw(st.integers(0, 10 ** 6))}"
+    return make_mc_question(
+        qid, Category.ANALOG, "Compute the value shown in the figure.",
+        VisualContent(VisualType.SCHEMATIC, "s"),
+        choices, correct, difficulty=0.5, topics=("prop",),
+        answer_kind=AnswerKind.NUMERIC, unit=unit)
+
+
+@settings(max_examples=80)
+@given(numeric_mc_questions())
+def test_mc_phrase_judge_consistency(question):
+    """Correct phrasings judged correct; incorrect ones judged incorrect."""
+    for backbone in _BACKBONES:
+        assert answers_equivalent(
+            question, backbone.phrase_correct(question)), \
+            backbone.phrase_correct(question)
+        assert not answers_equivalent(
+            question, backbone.phrase_incorrect(question)), \
+            backbone.phrase_incorrect(question)
+
+
+@settings(max_examples=80)
+@given(st.floats(0.1, 9999.0).map(lambda v: round(v, 3)),
+       st.sampled_from(["ns", "V", "kOhm", "mA", ""]),
+       st.integers(0, 10 ** 6))
+def test_sa_phrase_judge_consistency(value, unit, salt):
+    question = make_sa_question(
+        f"prop-sa-{salt}", Category.PHYSICAL,
+        "Compute the value shown in the figure.",
+        VisualContent(VisualType.LAYOUT, "l"),
+        AnswerSpec(AnswerKind.NUMERIC, f"{value:g} {unit}".strip(),
+                   unit=unit))
+    for backbone in _BACKBONES:
+        assert answers_equivalent(question,
+                                  backbone.phrase_correct(question))
+        assert not answers_equivalent(question,
+                                      backbone.phrase_incorrect(question))
+
+
+@settings(max_examples=40)
+@given(numeric_mc_questions())
+def test_challenge_transform_preserves_consistency(question):
+    from repro.core.transforms import to_short_answer
+
+    recast = to_short_answer(question)
+    for backbone in _BACKBONES:
+        assert answers_equivalent(recast, backbone.phrase_correct(recast))
+        assert not answers_equivalent(recast,
+                                      backbone.phrase_incorrect(recast))

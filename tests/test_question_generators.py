@@ -1,0 +1,158 @@
+"""Cross-cutting checks on all five question generators."""
+
+import pytest
+
+from repro.core.prompts import build_prompt, question_user_prompt
+from repro.core.question import Category, QuestionType
+from repro.judge import answers_equivalent
+from repro.visual import render
+
+
+class TestGeneratorContracts:
+    def test_every_question_renders(self, chipvqa):
+        for question in chipvqa:
+            for visual in question.all_visuals:
+                image = render(visual)
+                assert image.shape == (visual.height, visual.width)
+                assert (image < 255).any(), question.qid
+
+    def test_gold_answers_accepted_verbatim(self, chipvqa):
+        """The gold surface form must satisfy the judge for every question."""
+        for question in chipvqa:
+            assert answers_equivalent(question, question.gold_text), \
+                question.qid
+
+    def test_gold_letter_accepted_for_mc(self, chipvqa):
+        for question in chipvqa:
+            if question.is_multiple_choice:
+                assert answers_equivalent(question, question.gold_letter), \
+                    question.qid
+
+    def test_distractors_rejected(self, chipvqa):
+        for question in chipvqa:
+            if not question.is_multiple_choice:
+                continue
+            for index in range(4):
+                if index == question.correct_choice:
+                    continue
+                letter = "ABCD"[index]
+                assert not answers_equivalent(question, letter), \
+                    (question.qid, letter)
+
+    def test_aliases_accepted(self, chipvqa):
+        for question in chipvqa:
+            for alias in question.answer.aliases:
+                assert answers_equivalent(question, alias), \
+                    (question.qid, alias)
+
+    def test_prompts_mention_their_figures(self, chipvqa):
+        """Most prompts should reference the visual ('shown', 'figure'...)."""
+        referencing = sum(
+            1 for q in chipvqa
+            if any(word in q.prompt.lower()
+                   for word in ("shown", "figure", "diagram", "table",
+                                "shows", "plot", "sketch", "drawn",
+                                "tabulated", "annotated", "map",
+                                "illustrat", "this")))
+        assert referencing >= len(chipvqa) * 0.9
+
+    def test_prompt_bundles_build(self, chipvqa):
+        for question in list(chipvqa)[:20]:
+            bundle = build_prompt(question, supports_system_prompt=True)
+            assert bundle.system
+            assert question.prompt in bundle.user
+            merged = build_prompt(question, supports_system_prompt=False)
+            assert merged.system is None
+            assert merged.user.startswith("You are an expert")
+
+    def test_mc_prompt_lists_choices(self, chipvqa):
+        question = next(q for q in chipvqa if q.is_multiple_choice)
+        text = question_user_prompt(question)
+        for letter in "ABCD":
+            assert f"{letter})" in text
+
+    def test_sa_prompt_has_no_choices(self, chipvqa):
+        question = next(q for q in chipvqa
+                        if q.question_type is QuestionType.SHORT_ANSWER)
+        text = question_user_prompt(question)
+        assert "Answer with the value" in text
+
+
+class TestPerCategoryInvariants:
+    @pytest.mark.parametrize("category,prefix", [
+        (Category.DIGITAL, "dig"),
+        (Category.ANALOG, "ana"),
+        (Category.ARCHITECTURE, "arc"),
+        (Category.MANUFACTURING, "mfg"),
+        (Category.PHYSICAL, "phy"),
+    ])
+    def test_qid_prefixes(self, chipvqa, category, prefix):
+        for question in chipvqa.by_category(category):
+            assert question.qid.startswith(prefix)
+
+    def test_qids_sequential(self, chipvqa):
+        for category in Category:
+            subset = chipvqa.by_category(category)
+            numbers = sorted(int(q.qid.split("-")[1]) for q in subset)
+            assert numbers == list(range(1, len(subset) + 1))
+
+    def test_boolean_answers_parse(self, chipvqa):
+        from repro.core.question import AnswerKind
+        from repro.digital.expr import parse
+
+        for question in chipvqa:
+            if question.answer.kind is AnswerKind.BOOLEAN_EXPR:
+                parse(question.gold_text)  # must not raise
+
+
+class TestExplanations:
+    def test_every_question_has_a_worked_solution(self, chipvqa):
+        for question in chipvqa:
+            assert question.explanation, question.qid
+            assert len(question.explanation) > 30, question.qid
+
+    def test_most_explanations_cite_the_gold(self, chipvqa):
+        citing = sum(1 for q in chipvqa if q.gold_text in q.explanation)
+        assert citing >= 0.75 * len(chipvqa)
+
+    def test_no_unresolved_placeholders(self, chipvqa):
+        for question in chipvqa:
+            assert "{gold}" not in question.explanation, question.qid
+
+    def test_explanation_survives_serialization(self, chipvqa):
+        from repro.core.question import Question
+
+        question = chipvqa[0]
+        restored = Question.from_json(question.to_json())
+        assert restored.explanation == question.explanation
+
+    def test_explanation_survives_challenge_transform(self, chipvqa,
+                                                      chipvqa_challenge):
+        for original, recast in zip(chipvqa, chipvqa_challenge):
+            assert recast.explanation == original.explanation
+
+
+class TestPromptHelpers:
+    def test_judge_prompt_contains_both_sides(self):
+        from repro.core.prompts import judge_prompt
+
+        text = judge_prompt("42 ns", "about 42 nanoseconds")
+        assert "42 ns" in text and "about 42 nanoseconds" in text
+        assert "YES or NO" in text
+
+    def test_combined_bundle_merges_system(self, chipvqa):
+        from repro.core.prompts import build_prompt
+
+        question = chipvqa[0]
+        bundle = build_prompt(question, supports_system_prompt=True)
+        assert bundle.system in bundle.combined
+        assert bundle.user in bundle.combined
+        no_system = build_prompt(question, supports_system_prompt=False)
+        assert no_system.combined == no_system.user
+
+    def test_image_count_matches_visuals(self, chipvqa):
+        from repro.core.prompts import build_prompt
+
+        for question in chipvqa:
+            bundle = build_prompt(question)
+            assert bundle.image_count == len(question.all_visuals)

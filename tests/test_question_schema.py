@@ -1,0 +1,169 @@
+"""Unit tests for the core question schema."""
+
+import pytest
+
+from repro.core.question import (
+    AnswerKind,
+    AnswerSpec,
+    CATEGORY_COUNTS,
+    CATEGORY_MC_COUNTS,
+    Category,
+    Question,
+    QuestionType,
+    TOTAL_MULTIPLE_CHOICE,
+    TOTAL_QUESTIONS,
+    TOTAL_SHORT_ANSWER,
+    VISUAL_TYPE_COUNTS,
+    VisualContent,
+    VisualType,
+    format_choices,
+    make_mc_question,
+    make_sa_question,
+)
+
+
+def _visual():
+    return VisualContent(VisualType.SCHEMATIC, "a test schematic")
+
+
+def _mc(**overrides):
+    defaults = dict(
+        qid="t-01",
+        category=Category.DIGITAL,
+        prompt="What is shown?",
+        visual=_visual(),
+        choices=("a", "b", "c", "d"),
+        correct=1,
+    )
+    defaults.update(overrides)
+    return make_mc_question(**defaults)
+
+
+class TestConstants:
+    def test_category_counts_sum_to_total(self):
+        assert sum(CATEGORY_COUNTS.values()) == TOTAL_QUESTIONS
+
+    def test_mc_sa_split(self):
+        assert TOTAL_MULTIPLE_CHOICE + TOTAL_SHORT_ANSWER == TOTAL_QUESTIONS
+
+    def test_mc_counts_bounded_by_category_counts(self):
+        for category, mc in CATEGORY_MC_COUNTS.items():
+            assert 0 <= mc <= CATEGORY_COUNTS[category]
+
+    def test_mc_counts_sum(self):
+        assert sum(CATEGORY_MC_COUNTS.values()) == TOTAL_MULTIPLE_CHOICE
+
+    def test_visual_counts_sum_to_144(self):
+        # Table I's visual counts sum to 144 over 142 questions: two
+        # questions carry a second visual.
+        assert sum(VISUAL_TYPE_COUNTS.values()) == 144
+
+
+class TestVisualContent:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            VisualContent(VisualType.TABLE, "x", width=0)
+
+    def test_rejects_nonpositive_legibility(self):
+        with pytest.raises(ValueError):
+            VisualContent(VisualType.TABLE, "x", legibility_scale=0)
+
+
+class TestQuestionValidation:
+    def test_mc_requires_four_choices(self):
+        with pytest.raises(ValueError, match="4"):
+            _mc(choices=("a", "b", "c"))
+
+    def test_mc_requires_distinct_choices(self):
+        with pytest.raises(ValueError, match="distinct"):
+            _mc(choices=("a", "a", "c", "d"))
+
+    def test_mc_requires_valid_correct_index(self):
+        with pytest.raises(ValueError):
+            Question(
+                qid="t", category=Category.DIGITAL,
+                question_type=QuestionType.MULTIPLE_CHOICE,
+                prompt="p", visual=_visual(),
+                answer=AnswerSpec(AnswerKind.CHOICE, "a"),
+                choices=("a", "b", "c", "d"), correct_choice=4)
+
+    def test_sa_rejects_choices(self):
+        with pytest.raises(ValueError, match="choices"):
+            Question(
+                qid="t", category=Category.DIGITAL,
+                question_type=QuestionType.SHORT_ANSWER,
+                prompt="p", visual=_visual(),
+                answer=AnswerSpec(AnswerKind.TEXT, "x"),
+                choices=("a", "b", "c", "d"))
+
+    def test_difficulty_bounds(self):
+        with pytest.raises(ValueError, match="difficulty"):
+            _mc(difficulty=1.5)
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            _mc(prompt="")
+
+    def test_empty_gold_rejected(self):
+        with pytest.raises(ValueError):
+            AnswerSpec(AnswerKind.TEXT, "")
+
+
+class TestQuestionAccessors:
+    def test_gold_text_mc(self):
+        question = _mc()
+        assert question.gold_text == "b"
+
+    def test_gold_letter(self):
+        assert _mc().gold_letter == "B"
+
+    def test_gold_letter_raises_for_sa(self):
+        question = make_sa_question(
+            "t-02", Category.ANALOG, "p", _visual(),
+            AnswerSpec(AnswerKind.TEXT, "x"))
+        with pytest.raises(ValueError):
+            question.gold_letter
+
+    def test_stable_hash_is_deterministic(self):
+        assert _mc().stable_hash() == _mc().stable_hash()
+
+    def test_stable_hash_differs_by_qid(self):
+        assert _mc().stable_hash() != _mc(qid="t-99").stable_hash()
+
+    def test_all_visuals_includes_extras(self):
+        import dataclasses
+
+        question = dataclasses.replace(_mc(), extra_visuals=(_visual(),))
+        assert len(question.all_visuals) == 2
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        question = _mc()
+        restored = Question.from_json(question.to_json())
+        assert restored.qid == question.qid
+        assert restored.choices == question.choices
+        assert restored.correct_choice == question.correct_choice
+        assert restored.category is question.category
+        assert restored.visual.visual_type is question.visual.visual_type
+
+    def test_round_trip_sa(self):
+        question = make_sa_question(
+            "t-03", Category.PHYSICAL, "p", _visual(),
+            AnswerSpec(AnswerKind.NUMERIC, "4.2", unit="ns",
+                       aliases=("4.2 ns",)))
+        restored = Question.from_json(question.to_json())
+        assert restored.answer.unit == "ns"
+        assert restored.answer.aliases == ("4.2 ns",)
+
+    def test_round_trip_extra_visuals(self):
+        import dataclasses
+
+        question = dataclasses.replace(_mc(), extra_visuals=(_visual(),))
+        restored = Question.from_json(question.to_json())
+        assert len(restored.extra_visuals) == 1
+
+
+def test_format_choices():
+    text = format_choices(["w", "x", "y", "z"])
+    assert text.splitlines() == ["A) w", "B) x", "C) y", "D) z"]

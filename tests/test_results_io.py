@@ -1,0 +1,73 @@
+"""Tests for evaluation-result persistence."""
+
+import pytest
+
+from repro.core import results_io
+from repro.core.harness import EvaluationHarness, run_table2
+from repro.core.metrics import EvalRecord, EvalResult
+from repro.core.question import Category
+from repro.models import WITH_CHOICE, build_model
+
+
+def _small_result():
+    result = EvalResult("test-model", "test-ds", "with_choice")
+    result.add(EvalRecord("q-1", Category.DIGITAL, "A", True, "auto", 0.9))
+    result.add(EvalRecord("q-2", Category.ANALOG, "", False, "manual", 0.5))
+    return result
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        result = _small_result()
+        restored = results_io.loads(results_io.dumps(result))
+        assert restored.model_name == result.model_name
+        assert restored.pass_at_1() == result.pass_at_1()
+        assert restored.records[1].judge_method == "manual"
+        assert restored.records[0].perception == pytest.approx(0.9)
+
+    def test_save_load_file(self, tmp_path):
+        path = results_io.save(_small_result(), tmp_path / "r.jsonl")
+        restored = results_io.load(path)
+        assert len(restored) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            results_io.loads("")
+
+    def test_version_checked(self):
+        text = results_io.dumps(_small_result()).replace(
+            '"format_version": 1', '"format_version": 99')
+        with pytest.raises(ValueError, match="format"):
+            results_io.loads(text)
+
+    def test_truncation_detected(self):
+        text = results_io.dumps(_small_result())
+        truncated = "\n".join(text.splitlines()[:-1])
+        with pytest.raises(ValueError, match="truncated"):
+            results_io.loads(truncated)
+
+    def test_full_evaluation_round_trip(self, tmp_path, chipvqa):
+        harness = EvaluationHarness()
+        result = harness.evaluate(build_model("paligemma"), chipvqa,
+                                  WITH_CHOICE)
+        restored = results_io.load(
+            results_io.save(result, tmp_path / "pali.jsonl"))
+        assert restored.pass_at_1() == result.pass_at_1()
+        assert restored.pass_at_1_by_category() == \
+            result.pass_at_1_by_category()
+
+
+class TestRunTree:
+    def test_save_load_run(self, tmp_path):
+        results = run_table2([build_model("kosmos-2")])
+        written = results_io.save_run(results, tmp_path)
+        assert len(written) == 2
+        restored = results_io.load_run(tmp_path)
+        assert set(restored) == {"kosmos-2"}
+        for setting, result in restored["kosmos-2"].items():
+            assert result.pass_at_1() == \
+                results["kosmos-2"][setting].pass_at_1()
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            results_io.load_run(tmp_path)

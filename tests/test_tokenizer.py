@@ -1,0 +1,94 @@
+"""Unit and property tests for the deterministic word-piece tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tokenizer import WordPieceTokenizer, default_tokenizer
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return WordPieceTokenizer()
+
+
+class TestBasics:
+    def test_empty_string(self, tok):
+        assert tok.tokenize("") == []
+        assert tok.count("") == 0
+
+    def test_whitespace_only(self, tok):
+        assert tok.count("   \t\n") == 0
+
+    def test_simple_sentence(self, tok):
+        pieces = tok.tokenize("What is the voltage across RL?")
+        assert pieces[0] == "what"
+        assert "?" in pieces
+
+    def test_punctuation_separate_tokens(self, tok):
+        assert tok.count("a,b") == 3
+
+    def test_numbers_tokenize(self, tok):
+        pieces = tok.tokenize("R1 = 4700")
+        assert "=" in pieces
+
+    def test_case_insensitive(self, tok):
+        assert tok.count("VOLTAGE") == tok.count("voltage")
+
+    def test_known_word_single_token(self, tok):
+        assert tok.tokenize("voltage") == ["voltage"]
+
+    def test_unknown_word_multiple_pieces(self, tok):
+        pieces = tok.tokenize("xylophonist")
+        assert len(pieces) > 1
+        assert all(p.startswith("##") for p in pieces[1:])
+
+    def test_deterministic(self, tok):
+        text = "Compute the Elmore delay of the RC ladder shown."
+        assert tok.tokenize(text) == tok.tokenize(text)
+
+    def test_extra_vocab(self):
+        custom = WordPieceTokenizer(extra_vocab=["zzyzx"])
+        assert custom.tokenize("zzyzx") == ["zzyzx"]
+
+    def test_default_tokenizer_is_shared(self):
+        assert default_tokenizer() is default_tokenizer()
+
+
+class TestDetokenize:
+    def test_round_trip_words(self, tok):
+        text = "the clock signal"
+        assert tok.detokenize(tok.tokenize(text)) == text
+
+    def test_continuations_rejoin(self, tok):
+        pieces = tok.tokenize("xylophonist")
+        assert tok.detokenize(pieces) == "xylophonist"
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=200))
+def test_every_ascii_string_tokenizes(text):
+    tok = default_tokenizer()
+    pieces = tok.tokenize(text)
+    assert isinstance(pieces, list)
+    # token count is bounded by character count (no token is empty)
+    assert len(pieces) <= len(text)
+
+
+@given(st.lists(st.sampled_from(
+    ["voltage", "clock", "the", "delay", "cache", "etch"]),
+    min_size=1, max_size=20))
+def test_word_sequences_round_trip(words):
+    tok = default_tokenizer()
+    text = " ".join(words)
+    assert tok.detokenize(tok.tokenize(text)) == text
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz ", min_size=1,
+               max_size=100))
+def test_count_is_additive_over_concatenation_bound(text):
+    # Splitting into halves can only change the count at the boundary word.
+    tok = default_tokenizer()
+    mid = len(text) // 2
+    combined = tok.count(text)
+    parts = tok.count(text[:mid]) + tok.count(text[mid:])
+    assert combined <= parts + 2

@@ -1,0 +1,80 @@
+"""Tests for the MC->SA challenge recast and resolution transform."""
+
+import pytest
+
+from repro.core.question import (
+    AnswerKind,
+    Category,
+    QuestionType,
+    VisualContent,
+    VisualType,
+    make_mc_question,
+)
+from repro.core.transforms import to_short_answer, with_resolution_factor
+
+
+def _mc():
+    return make_mc_question(
+        "t-1", Category.DIGITAL, "Pick one.",
+        VisualContent(VisualType.DIAGRAM, "d", legibility_scale=8.0),
+        ("alpha", "beta", "gamma", "delta"), 2,
+        answer_kind=AnswerKind.TEXT, aliases=("the third",), unit="")
+
+
+class TestToShortAnswer:
+    def test_prompt_unchanged(self):
+        question = _mc()
+        recast = to_short_answer(question)
+        assert recast.prompt == question.prompt
+
+    def test_choices_removed(self):
+        recast = to_short_answer(_mc())
+        assert recast.question_type is QuestionType.SHORT_ANSWER
+        assert recast.choices == ()
+        assert recast.correct_choice == -1
+
+    def test_gold_becomes_option_text(self):
+        recast = to_short_answer(_mc())
+        assert recast.answer.text == "gamma"
+
+    def test_aliases_preserved(self):
+        recast = to_short_answer(_mc())
+        assert "the third" in recast.answer.aliases
+
+    def test_choice_kind_degrades_to_text(self):
+        question = make_mc_question(
+            "t-2", Category.DIGITAL, "p",
+            VisualContent(VisualType.TABLE, "t"),
+            ("1", "2", "3", "4"), 0, answer_kind=AnswerKind.CHOICE)
+        recast = to_short_answer(question)
+        assert recast.answer.kind is AnswerKind.TEXT
+
+    def test_sa_passes_through(self):
+        recast = to_short_answer(_mc())
+        assert to_short_answer(recast) is recast
+
+    def test_challenge_collection_is_all_sa(self, chipvqa_challenge):
+        assert all(q.question_type is QuestionType.SHORT_ANSWER
+                   for q in chipvqa_challenge)
+
+    def test_challenge_same_size_and_prompts(self, chipvqa,
+                                             chipvqa_challenge):
+        assert len(chipvqa_challenge) == len(chipvqa)
+        for original, recast in zip(chipvqa, chipvqa_challenge):
+            assert recast.prompt == original.prompt
+
+
+class TestResolutionTransform:
+    def test_identity_at_factor_1(self):
+        question = _mc()
+        assert with_resolution_factor(question, 1) is question
+
+    def test_scales_dimensions_and_legibility(self):
+        question = _mc()
+        scaled = with_resolution_factor(question, 8)
+        assert scaled.visual.width == question.visual.width // 8
+        assert scaled.visual.legibility_scale == pytest.approx(1.0)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            with_resolution_factor(_mc(), 0)

@@ -1,0 +1,119 @@
+"""Tests for the vector-machine timing model and OoO hazard analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import vector
+from repro.arch.ooo import (
+    Scoreboard,
+    classify_hazards,
+    false_hazards_removed_by_renaming,
+    hazard_counts,
+    rob_entries_needed,
+)
+from repro.arch.pipeline import alu, load
+from repro.arch.vector import VectorOp
+
+
+class TestChimes:
+    def _daxpy(self):
+        return [VectorOp("LV", "ls", "v1"),
+                VectorOp("MULVS", "mul", "v2", ("v1",)),
+                VectorOp("LV2", "ls", "v3"),
+                VectorOp("ADDVV", "add", "v4", ("v2", "v3")),
+                VectorOp("SV", "ls", "v5", ("v4",))]
+
+    def test_daxpy_is_three_chimes_with_chaining(self):
+        assert vector.chimes(self._daxpy(), allow_chaining=True) == 3
+
+    def test_no_chaining_needs_more_chimes(self):
+        with_chaining = vector.chimes(self._daxpy(), allow_chaining=True)
+        without = vector.chimes(self._daxpy(), allow_chaining=False)
+        assert without >= with_chaining
+
+    def test_independent_ops_one_chime(self):
+        ops = [VectorOp("A", "u1", "v1"), VectorOp("B", "u2", "v2")]
+        assert vector.chimes(ops) == 1
+
+    def test_empty_is_zero(self):
+        assert vector.chimes([]) == 0
+
+
+class TestTiming:
+    def test_execution_cycles(self):
+        assert vector.vector_execution_cycles(64, 3) == 192
+        assert vector.vector_execution_cycles(64, 3, startup=12) == 204
+
+    def test_strip_mining(self):
+        assert vector.strip_mine_iterations(1000, 64) == 16
+        assert vector.strip_mine_iterations(64, 64) == 1
+        assert vector.strip_mine_iterations(0, 64) == 0
+
+    def test_lanes_speedup(self):
+        assert vector.lanes_speedup(64, 4, 2) == pytest.approx(4.0)
+
+    def test_amdahl(self):
+        assert vector.amdahl_speedup(0.8, 16.0) == pytest.approx(4.0)
+        assert vector.amdahl_speedup(0.0, 100.0) == 1.0
+
+    @given(st.floats(0.0, 1.0), st.floats(1.0, 1000.0))
+    def test_amdahl_bounded_by_serial_fraction(self, fraction, factor):
+        value = vector.amdahl_speedup(fraction, factor)
+        assert 1.0 - 1e-9 <= value <= factor + 1e-9
+        if fraction < 1.0:
+            assert value <= 1.0 / (1.0 - fraction) + 1e-9
+
+    def test_roofline(self):
+        assert vector.roofline_gflops(100.0, 50.0, 0.5) == 25.0
+        assert vector.roofline_gflops(100.0, 50.0, 10.0) == 100.0
+
+    def test_arithmetic_intensity(self):
+        assert vector.arithmetic_intensity(200.0, 100.0) == 2.0
+
+
+class TestHazards:
+    def test_classification(self):
+        trace = [load("r1"), alu("r2", "r1", "r3"), alu("r3", "r4"),
+                 alu("r2", "r5")]
+        counts = hazard_counts(trace)
+        assert counts == {"RAW": 1, "WAR": 1, "WAW": 1}
+
+    def test_renaming_removes_false_hazards(self):
+        trace = [alu("r1", "r2"), alu("r2", "r3"), alu("r1", "r4")]
+        assert false_hazards_removed_by_renaming(trace) == 2
+
+    def test_no_hazards_in_independent_code(self):
+        trace = [alu("r1"), alu("r2"), alu("r3")]
+        assert classify_hazards(trace) == []
+
+    def test_raw_found_across_distance(self):
+        trace = [alu("r1"), alu("r9"), alu("r2", "r1")]
+        kinds = [h.kind for h in classify_hazards(trace)]
+        assert "RAW" in kinds
+
+
+class TestScoreboard:
+    def test_raw_stalls_issue(self):
+        board = Scoreboard(latencies={"mul": 4})
+        trace = [alu("r1", label="mul"), alu("r2", "r1", label="add")]
+        schedule = board.run(trace)
+        assert schedule[1][0] > schedule[0][1]  # issue after producer done
+
+    def test_waw_stalls_without_renaming(self):
+        board = Scoreboard(latencies={"slow": 5})
+        trace = [alu("r1", label="slow"), alu("r1", label="fast")]
+        no_rename = board.total_cycles(trace)
+        renamed = Scoreboard(latencies={"slow": 5},
+                             renaming=True).total_cycles(trace)
+        assert renamed < no_rename
+
+    def test_independent_ops_overlap(self):
+        board = Scoreboard(latencies={"x": 3})
+        trace = [alu("r1", label="x"), alu("r2", label="x")]
+        schedule = board.run(trace)
+        assert schedule[1][0] == schedule[0][0] + 1
+
+    def test_rob_sizing(self):
+        assert rob_entries_needed(4, 20) == 80
+        with pytest.raises(ValueError):
+            rob_entries_needed(0, 20)

@@ -1,0 +1,158 @@
+"""Tests for the structural-Verilog subset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.digital.expr import equivalent, parse
+from repro.digital.gates import full_adder, mux2
+from repro.digital.verilog import (
+    VerilogError,
+    emit_verilog,
+    parse_verilog,
+    roundtrip_equivalent,
+)
+
+NAND_NOT = """
+// an AND built from NANDs
+module top (input a, input b, output f);
+  wire n1;
+  nand g1 (n1, a, b);
+  not  g2 (f, n1);
+endmodule
+"""
+
+MUX = """
+module mux2 (input s, input a, input b, output y);
+  wire sn, t0, t1;
+  not  u0 (sn, s);
+  and  u1 (t0, sn, a);
+  and  u2 (t1, s, b);
+  or   u3 (y, t0, t1);
+endmodule
+"""
+
+
+class TestParse:
+    def test_simple_module(self):
+        module = parse_verilog(NAND_NOT)
+        assert module.name == "top"
+        assert module.inputs == ("a", "b")
+        assert module.outputs == ("f",)
+        assert equivalent(module.netlist.to_expr("f"), parse("ab"))
+
+    def test_mux_function(self):
+        module = parse_verilog(MUX)
+        assert equivalent(module.netlist.to_expr("y"), parse("s'a + sb"))
+
+    def test_out_of_order_instances(self):
+        source = """
+        module t (input a, output f);
+          wire w;
+          not g2 (f, w);
+          buf g1 (w, a);
+        endmodule
+        """
+        module = parse_verilog(source)
+        assert equivalent(module.netlist.to_expr("f"), parse("a'"))
+
+    def test_block_comments_stripped(self):
+        source = NAND_NOT.replace("// an AND built from NANDs",
+                                  "/* multi\nline */")
+        parse_verilog(source)
+
+    def test_no_module_raises(self):
+        with pytest.raises(VerilogError, match="no module"):
+            parse_verilog("wire x;")
+
+    def test_unsupported_primitive_raises(self):
+        source = """
+        module t (input a, output f);
+          dff g1 (f, a);
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="unsupported"):
+            parse_verilog(source)
+
+    def test_undriven_output_raises(self):
+        source = """
+        module t (input a, output f, output g);
+          buf u1 (f, a);
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="never driven"):
+            parse_verilog(source)
+
+    def test_combinational_loop_raises(self):
+        source = """
+        module t (input a, output f);
+          wire w;
+          and u1 (f, a, w);
+          not u2 (w, f);
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="loop|undriven"):
+            parse_verilog(source)
+
+    def test_unparsed_junk_raises(self):
+        source = """
+        module t (input a, output f);
+          buf u1 (f, a);
+          assign f = a;
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="unparsed"):
+            parse_verilog(source)
+
+    def test_non_ansi_ports_rejected(self):
+        source = """
+        module t (a, f);
+          buf u1 (f, a);
+        endmodule
+        """
+        with pytest.raises(VerilogError, match="direction"):
+            parse_verilog(source)
+
+
+class TestEmit:
+    def test_emit_contains_all_gates(self):
+        netlist = mux2()
+        text = emit_verilog(netlist, ["OUT"], name="mux")
+        assert text.startswith("module mux")
+        assert text.count("(") >= netlist.gate_count() + 1
+        assert "endmodule" in text
+
+    def test_emit_unknown_output_raises(self):
+        with pytest.raises(VerilogError):
+            emit_verilog(mux2(), ["NOPE"])
+
+    def test_roundtrip_mux(self):
+        assert roundtrip_equivalent(MUX, "y")
+
+    def test_roundtrip_nand_not(self):
+        assert roundtrip_equivalent(NAND_NOT, "f")
+
+    def test_full_adder_roundtrip(self):
+        netlist = full_adder()
+        text = emit_verilog(netlist, ["SUM", "COUT"], name="fa")
+        module = parse_verilog(text)
+        assert equivalent(module.netlist.to_expr("SUM"),
+                          netlist.to_expr("SUM"))
+        assert equivalent(module.netlist.to_expr("COUT"),
+                          netlist.to_expr("COUT"))
+
+
+@given(st.lists(st.sampled_from(["and", "or", "nand", "nor", "xor"]),
+                min_size=1, max_size=6))
+def test_random_chains_roundtrip(gate_types):
+    """Random two-input gate chains survive emit -> parse."""
+    lines = ["module chain (input a, input b, output f);"]
+    wires = [f"w{i}" for i in range(len(gate_types) - 1)]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    previous = "a"
+    for index, gate in enumerate(gate_types):
+        out = "f" if index == len(gate_types) - 1 else f"w{index}"
+        lines.append(f"  {gate} g{index} ({out}, {previous}, b);")
+        previous = out
+    source = "\n".join(lines + ["endmodule"])
+    assert roundtrip_equivalent(source, "f")

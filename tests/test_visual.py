@@ -1,0 +1,227 @@
+"""Tests for the raster canvas, scene interpreter and figure builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.question import VisualContent, VisualType
+from repro.visual import render, render_scene
+from repro.visual.canvas import BLACK, WHITE, Canvas
+from repro.visual.diagram import (
+    block_diagram_scene,
+    flow_chart_scene,
+    graph_scene,
+    pipeline_scene,
+    tree_scene,
+)
+from repro.visual.glyphs import GLYPH_HEIGHT, GLYPH_WIDTH, glyph_bitmap, text_width
+from repro.visual.layout import cross_section_scene, layout_scene, mask_pattern_scene
+from repro.visual.scene import draw_scene, min_stroke_scale, scene_bounds, translate
+from repro.visual.schematic import (
+    bode_plot_scene,
+    common_source_scene,
+    differential_pair_scene,
+    flash_adc_scene,
+    logic_network_scene,
+    opamp_stage_scene,
+    resistor_network_scene,
+)
+from repro.visual.table import kmap_scene, table_scene, truth_table_scene
+from repro.visual.waveform import curve_scene, shmoo_scene, waveform_scene
+
+
+class TestCanvas:
+    def test_background_white(self):
+        canvas = Canvas(10, 10)
+        assert (canvas.pixels == WHITE).all()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 10)
+
+    def test_set_pixel_clipped(self):
+        canvas = Canvas(5, 5)
+        canvas.set_pixel(100, 100)  # silently out of bounds
+        assert canvas.ink_fraction() == 0.0
+
+    def test_horizontal_line(self):
+        canvas = Canvas(10, 10)
+        canvas.line(0, 5, 9, 5)
+        assert (canvas.pixels[5, :] == BLACK).all()
+
+    def test_diagonal_line_connected(self):
+        canvas = Canvas(20, 20)
+        canvas.line(0, 0, 19, 19)
+        # Bresenham: exactly one ink pixel per row
+        for row in range(20):
+            assert (canvas.pixels[row] == BLACK).sum() == 1
+
+    def test_thick_line(self):
+        canvas = Canvas(10, 10)
+        canvas.line(0, 5, 9, 5, thickness=3)
+        assert (canvas.pixels[4:7, 2] == BLACK).all()
+
+    def test_rect_outline_hollow(self):
+        canvas = Canvas(20, 20)
+        canvas.rect(2, 2, 10, 10)
+        assert canvas.pixels[7, 7] == WHITE
+        assert canvas.pixels[2, 5] == BLACK
+
+    def test_fill_rect(self):
+        canvas = Canvas(10, 10)
+        canvas.fill_rect(2, 2, 3, 3, ink=100)
+        assert (canvas.pixels[2:5, 2:5] == 100).all()
+
+    def test_circle_symmetry(self):
+        canvas = Canvas(21, 21)
+        canvas.circle(10, 10, 6)
+        assert (canvas.pixels == np.flip(canvas.pixels, axis=0)).all()
+        assert (canvas.pixels == np.flip(canvas.pixels, axis=1)).all()
+
+    def test_fill_circle_center_inked(self):
+        canvas = Canvas(21, 21)
+        canvas.fill_circle(10, 10, 5)
+        assert canvas.pixels[10, 10] == BLACK
+
+    def test_text_inks_pixels(self):
+        canvas = Canvas(60, 20)
+        canvas.text(2, 2, "AB")
+        assert canvas.ink_fraction() > 0
+
+    def test_text_scale_doubles_extent(self):
+        small = Canvas(80, 40)
+        small.text(0, 0, "X", scale=1)
+        big = Canvas(80, 40)
+        big.text(0, 0, "X", scale=2)
+        assert big.ink_fraction() > small.ink_fraction() * 2
+
+    def test_copy_independent(self):
+        canvas = Canvas(5, 5)
+        clone = canvas.copy()
+        canvas.fill_rect(0, 0, 5, 5)
+        assert clone.ink_fraction() == 0.0
+
+
+class TestGlyphs:
+    def test_dimensions(self):
+        for ch in "A9+ ":
+            bitmap = glyph_bitmap(ch)
+            assert len(bitmap) == GLYPH_HEIGHT
+            assert all(len(row) == GLYPH_WIDTH for row in bitmap)
+
+    def test_lowercase_maps_to_upper(self):
+        assert glyph_bitmap("a") == glyph_bitmap("A")
+
+    def test_unknown_renders_box(self):
+        bitmap = glyph_bitmap("€")
+        assert bitmap[0] == [1, 1, 1, 1, 1]
+
+    def test_text_width(self):
+        assert text_width("AB") == 2 * GLYPH_WIDTH + 1
+        assert text_width("") == 0
+
+
+class TestSceneInterpreter:
+    def test_all_ops_draw(self):
+        scene = [
+            {"op": "line", "p0": [0, 0], "p1": [10, 10]},
+            {"op": "polyline", "points": [[0, 10], [10, 10], [10, 0]]},
+            {"op": "rect", "xy": [20, 20], "size": [10, 10]},
+            {"op": "fill_rect", "xy": [40, 20], "size": [5, 5]},
+            {"op": "hatch_rect", "xy": [50, 20], "size": [10, 10]},
+            {"op": "circle", "center": [70, 30], "radius": 5},
+            {"op": "fill_circle", "center": [85, 30], "radius": 3},
+            {"op": "arrow", "p0": [0, 40], "p1": [20, 40]},
+            {"op": "text", "xy": [0, 50], "s": "HI"},
+            {"op": "text_centered", "xy": [50, 55], "s": "MID"},
+        ]
+        image = render_scene(scene, 100, 70)
+        assert (image < 255).sum() > 50
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="unknown scene op"):
+            render_scene([{"op": "sparkle"}], 10, 10)
+
+    def test_translate(self):
+        scene = [{"op": "fill_rect", "xy": [0, 0], "size": [2, 2]}]
+        moved = translate(scene, 5, 7)
+        assert moved[0]["xy"] == [5, 7]
+        assert scene[0]["xy"] == [0, 0]  # original untouched
+
+    def test_scene_bounds(self):
+        scene = [{"op": "rect", "xy": [10, 20], "size": [30, 5]}]
+        assert scene_bounds(scene) == (10, 20, 40, 25)
+
+    def test_min_stroke_scale(self):
+        scene = [{"op": "text", "xy": [0, 0], "s": "A", "scale": 3},
+                 {"op": "line", "p0": [0, 0], "p1": [1, 1], "thickness": 2}]
+        assert min_stroke_scale(scene) == 2.0
+
+
+BUILDERS = [
+    lambda: resistor_network_scene([("R1", "1K"), ("R2", "2K")]),
+    lambda: opamp_stage_scene("inverting", "RIN", "RF"),
+    lambda: opamp_stage_scene("noninverting", "RG", "RF"),
+    lambda: common_source_scene("GM", "RD"),
+    lambda: common_source_scene("GM", "RD", with_degeneration=True),
+    lambda: differential_pair_scene(),
+    lambda: logic_network_scene([("AND", "G1", ["A", "B"])], "F"),
+    lambda: flash_adc_scene(3),
+    lambda: bode_plot_scene([2.0], [0.0, -20.0]),
+    lambda: block_diagram_scene([("a", "A"), ("b", "B")], [("a", "b")]),
+    lambda: pipeline_scene(["IF", "ID", "EX"], bypass=(2, 1)),
+    lambda: graph_scene(["x", "y"], [("x", "y")]),
+    lambda: graph_scene(["x", "y", "z", "w"], [], layout="grid"),
+    lambda: flow_chart_scene(["S1", "S2"], loop_back=0),
+    lambda: tree_scene([(1, 1, "P0"), (3, 2, "P1")], [(0, 1)]),
+    lambda: layout_scene({"metal1": [(0, 0, 2, 2)]}),
+    lambda: cross_section_scene([("silicon", 1.0), ("resist", 0.5)],
+                                resist_openings=[(3, 2)]),
+    lambda: mask_pattern_scene([(1, 1, 1, 4)],
+                               assist_features=[(0.2, 1, 0.2, 4)]),
+    lambda: table_scene([["A", "B"], ["1", "2"]]),
+    lambda: truth_table_scene(["A"], ["F"], [(0, 1), (1, 0)]),
+    lambda: kmap_scene(["A", "B", "C"], [["0", "1", "1", "0"],
+                                         ["1", "0", "0", "1"]]),
+    lambda: waveform_scene([("CLK", [0, 1, 0, 1])]),
+    lambda: curve_scene([("G", [(1.0, 0.0), (10.0, -20.0)])], log_x=True),
+    lambda: shmoo_scene([[True, False], [True, True]]),
+]
+
+
+@pytest.mark.parametrize("builder", BUILDERS,
+                         ids=[f"builder{i}" for i in range(len(BUILDERS))])
+def test_every_builder_renders_nonempty(builder):
+    scene = builder()
+    image = render_scene(scene, 512, 384)
+    assert image.shape == (384, 512)
+    ink = (image < 255).mean()
+    assert 0.0005 < ink < 0.6
+
+
+class TestRenderDispatch:
+    def test_scene_spec(self):
+        visual = VisualContent(
+            VisualType.TABLE, "t",
+            render_spec=("scene", [{"op": "fill_rect", "xy": [0, 0],
+                                    "size": [10, 10]}]))
+        image = render(visual, use_cache=False)
+        assert image[5, 5] == 0
+
+    def test_placeholder_without_scene(self):
+        visual = VisualContent(VisualType.FIGURE, "a mystery photograph")
+        image = render(visual, use_cache=False)
+        assert (image < 255).sum() > 0
+
+    def test_unknown_spec_kind(self):
+        visual = VisualContent(VisualType.FIGURE, "x",
+                               render_spec=("svg", []))
+        with pytest.raises(ValueError):
+            render(visual, use_cache=False)
+
+    def test_cache_returns_same_array(self):
+        visual = VisualContent(
+            VisualType.TABLE, "t",
+            render_spec=("scene", [{"op": "fill_rect", "xy": [0, 0],
+                                    "size": [4, 4]}]))
+        assert render(visual) is render(visual)

@@ -1,0 +1,126 @@
+"""Tests for virtual memory: geometry, page walks, TLB, EAT."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.vm import (
+    Mmu,
+    PageTable,
+    Tlb,
+    VmGeometry,
+    effective_access_time,
+    page_table_size_bytes,
+)
+
+
+class TestGeometry:
+    def test_field_widths(self):
+        g = VmGeometry(32, 30, 4096)
+        assert g.offset_bits == 12
+        assert g.vpn_bits == 20
+        assert g.ppn_bits == 18
+
+    def test_two_level_split(self):
+        g = VmGeometry(32, 30, 4096, levels=2)
+        assert g.bits_per_level == 10
+        assert g.entries_per_table == 1024
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            VmGeometry(32, 30, 4096, levels=3)
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ValueError):
+            VmGeometry(32, 30, 5000)
+
+    def test_split_vpn(self):
+        g = VmGeometry(32, 30, 4096, levels=2)
+        vaddr = (0x3FF << 22) | (0x001 << 12) | 0xABC
+        assert g.split_vpn(vaddr) == [0x3FF, 0x001]
+        assert g.offset(vaddr) == 0xABC
+
+    def test_pte_bytes_rounds_to_power_of_two(self):
+        g = VmGeometry(32, 30, 4096)
+        assert g.pte_bytes(metadata_bits=12) == 4
+
+    def test_flat_table_size(self):
+        g = VmGeometry(32, 30, 4096)
+        assert page_table_size_bytes(g, metadata_bits=12) == 4 * 2 ** 20
+
+
+class TestPageTable:
+    def test_translate(self):
+        g = VmGeometry(32, 30, 4096)
+        table = PageTable(g)
+        table.map(0x1000, 0x5000)
+        assert table.translate(0x1ABC) == 0x5ABC
+
+    def test_page_fault(self):
+        table = PageTable(VmGeometry(32, 30, 4096))
+        with pytest.raises(KeyError, match="fault"):
+            table.translate(0xDEAD000)
+
+    def test_walk_accesses_equals_levels(self):
+        table = PageTable(VmGeometry(32, 30, 4096, levels=2))
+        assert table.walk_accesses() == 2
+
+
+class TestTlb:
+    def test_hit_after_fill(self):
+        tlb = Tlb(4)
+        assert tlb.lookup(1) is None
+        tlb.fill(1, 99)
+        assert tlb.lookup(1) == 99
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        tlb = Tlb(2)
+        tlb.fill(1, 10)
+        tlb.fill(2, 20)
+        tlb.lookup(1)          # refresh 1
+        tlb.fill(3, 30)        # evicts 2
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) == 10
+
+    def test_hit_rate_requires_lookups(self):
+        with pytest.raises(ValueError):
+            Tlb(2).hit_rate
+
+
+class TestMmu:
+    def test_miss_then_hit_latency(self):
+        g = VmGeometry(32, 30, 4096, levels=2)
+        table = PageTable(g)
+        table.map(0x1000, 0x8000)
+        mmu = Mmu(table, Tlb(8), tlb_time=1.0, memory_time=100.0)
+        _, cold = mmu.access(0x1004)
+        _, warm = mmu.access(0x1008)
+        assert cold == pytest.approx(1.0 + 2 * 100.0 + 100.0)
+        assert warm == pytest.approx(1.0 + 100.0)
+
+    def test_translation_correct_through_tlb(self):
+        g = VmGeometry(32, 30, 4096)
+        table = PageTable(g)
+        table.map(0x2000, 0xA000)
+        mmu = Mmu(table, Tlb(2))
+        paddr1, _ = mmu.access(0x2ABC)
+        paddr2, _ = mmu.access(0x2DEF)
+        assert paddr1 == 0xAABC
+        assert paddr2 == 0xADEF
+
+
+class TestEat:
+    def test_formula(self):
+        value = effective_access_time(0.98, 1.0, 100.0, levels=2)
+        expected = 0.98 * 101.0 + 0.02 * 301.0
+        assert value == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_access_time(1.5, 1.0, 100.0)
+
+    @given(st.floats(0.0, 1.0))
+    def test_monotone_in_hit_rate(self, rate):
+        low = effective_access_time(rate, 1.0, 100.0)
+        high = effective_access_time(min(1.0, rate + 0.1), 1.0, 100.0)
+        assert high <= low + 1e-9
