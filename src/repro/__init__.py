@@ -27,9 +27,11 @@ from repro.core import (
     Dataset,
     EvalResult,
     EvaluationHarness,
+    ParallelRunner,
     Question,
     QuestionType,
     VisualType,
+    WorkUnit,
     build_chipvqa,
     build_chipvqa_challenge,
     run_table2,
@@ -44,8 +46,10 @@ __all__ = [
     "Dataset",
     "EvalResult",
     "EvaluationHarness",
+    "ParallelRunner",
     "Question",
     "QuestionType",
+    "WorkUnit",
     "VisualType",
     "build_chipvqa",
     "build_chipvqa_challenge",

@@ -45,8 +45,12 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         models = [build_model(name) for name in args.models]
     else:
         models = build_zoo()
-    results = run_table2(models, harness)
+    results = run_table2(models, harness, workers=args.workers,
+                         run_dir=args.run_dir, resume=not args.no_resume)
     print(render_table2(results, dict(TABLE2_ROW_ORDER)))
+    if args.run_dir:
+        print(f"\nrun artifacts -> {args.run_dir} "
+              f"(checkpoints + manifest.json)")
     return 0
 
 
@@ -63,7 +67,7 @@ def _cmd_resolution(args: argparse.Namespace) -> int:
     category = _category_by_short(args.category)
     study = harness.resolution_study(
         build_model(args.model), category=category,
-        factors=tuple(args.factors))
+        factors=tuple(args.factors), workers=args.workers)
     print(render_resolution_study(study, category))
     return 0
 
@@ -188,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     p2 = sub.add_parser("table2", help="Table II zero-shot sweep")
     p2.add_argument("--models", nargs="*",
                     help="subset of zoo names (default: all twelve)")
+    p2.add_argument("--workers", type=int, default=1,
+                    help="parallel evaluation workers (1 = serial)")
+    p2.add_argument("--run-dir", default=None,
+                    help="checkpoint directory; an interrupted sweep "
+                         "resumes from it (see docs/RUNNER.md)")
+    p2.add_argument("--no-resume", action="store_true",
+                    help="ignore existing checkpoints in --run-dir")
     p2.set_defaults(func=_cmd_table2)
 
     sub.add_parser("table3", help="Table III agent comparison") \
@@ -197,6 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--model", default="gpt-4o")
     pr.add_argument("--category", default="Digital")
     pr.add_argument("--factors", nargs="*", type=int, default=[1, 8, 16])
+    pr.add_argument("--workers", type=int, default=1,
+                    help="evaluate resolution factors in parallel")
     pr.set_defaults(func=_cmd_resolution)
 
     sub.add_parser("composition", help="Fig. 1 composition summary") \

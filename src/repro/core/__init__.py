@@ -8,8 +8,22 @@ from repro.core.benchmark import (
     validate_chipvqa,
 )
 from repro.core.dataset import Dataset, TokenStats
+from repro.core.faults import (
+    FaultBoundary,
+    LatencyBoundary,
+    PermanentError,
+    TransientModelError,
+)
 from repro.core.harness import EvaluationHarness, run_table2
 from repro.core.metrics import EvalRecord, EvalResult, bootstrap_ci
+from repro.core.runcache import RunCache, question_key
+from repro.core.runner import (
+    ParallelRunner,
+    RetryPolicy,
+    RunOutcome,
+    RunStats,
+    WorkUnit,
+)
 from repro.core.question import (
     AnswerKind,
     AnswerSpec,
@@ -33,7 +47,18 @@ __all__ = [
     "EvalRecord",
     "EvalResult",
     "EvaluationHarness",
+    "FaultBoundary",
+    "LatencyBoundary",
+    "ParallelRunner",
+    "PermanentError",
     "Question",
+    "RetryPolicy",
+    "RunCache",
+    "RunOutcome",
+    "RunStats",
+    "TransientModelError",
+    "WorkUnit",
+    "question_key",
     "QuestionType",
     "TokenStats",
     "VisualContent",

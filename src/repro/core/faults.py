@@ -1,0 +1,182 @@
+"""Fault taxonomy and pluggable fault boundaries for evaluation runs.
+
+Real VLM evaluation is dominated by remote model calls that fail in two
+distinct ways: *transient* faults (rate limits, timeouts, connection
+resets) that a retry absorbs, and *permanent* faults (content filters,
+revoked credentials, malformed requests) that no amount of retrying
+fixes.  The :class:`~repro.core.runner.ParallelRunner` threads every
+model call through a **fault boundary** — a pluggable hook invoked once
+per (unit, question) evaluation — so tests can inject either class of
+failure deterministically and benchmarks can emulate the call latency
+that parallel workers exist to hide.
+
+All boundaries here are thread-safe: the runner invokes them
+concurrently from its worker pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class ModelCallError(RuntimeError):
+    """Base class for simulated model-call failures."""
+
+
+class TransientModelError(ModelCallError):
+    """A retryable failure (timeout, rate limit, dropped connection)."""
+
+
+class PermanentError(ModelCallError):
+    """A non-retryable failure; the unit is recorded as failed and
+    skipped without killing the rest of the run."""
+
+
+class FaultBoundary:
+    """Base boundary: never faults.
+
+    Subclasses override :meth:`check`, which is called once per
+    evaluated question *before* its answer is accepted; raising
+    :class:`TransientModelError` triggers the runner's retry/backoff
+    path, raising :class:`PermanentError` fails the unit.
+    """
+
+    def check(self, unit_id: str, qid: str) -> None:
+        """Hook point; the default implementation is a no-op."""
+
+    def __call__(self, unit_id: str, qid: str) -> None:
+        self.check(unit_id, qid)
+
+
+class RecordingBoundary(FaultBoundary):
+    """Counts boundary crossings without ever faulting (test spy).
+
+    ``calls`` retains every ``(unit_id, qid)`` pair in invocation order;
+    :meth:`calls_for` filters by unit — the resume tests use this to
+    prove finished units are not re-evaluated.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls: List[Tuple[str, str]] = []
+
+    def check(self, unit_id: str, qid: str) -> None:
+        with self._lock:
+            self.calls.append((unit_id, qid))
+
+    def calls_for(self, unit_id: str) -> List[str]:
+        with self._lock:
+            return [qid for uid, qid in self.calls if uid == unit_id]
+
+    def units_evaluated(self) -> List[str]:
+        """Unique unit ids that crossed the boundary, in first-call order."""
+        seen: List[str] = []
+        with self._lock:
+            for uid, _ in self.calls:
+                if uid not in seen:
+                    seen.append(uid)
+        return seen
+
+
+class ScriptedFaults(FaultBoundary):
+    """Raise a scripted sequence of exceptions per question id.
+
+    ``script`` maps a qid (or ``"unit_id::qid"`` for unit-scoped
+    entries) to a list of exceptions consumed one per boundary crossing;
+    once the list is exhausted the question succeeds.  This makes
+    "fails twice then recovers" one line of test setup::
+
+        ScriptedFaults({"dig-01": [TransientModelError("429"),
+                                   TransientModelError("timeout")]})
+    """
+
+    def __init__(self, script: Mapping[str, Sequence[Exception]]):
+        self._lock = threading.Lock()
+        self._pending: Dict[str, List[Exception]] = {
+            key: list(faults) for key, faults in script.items()
+        }
+
+    def check(self, unit_id: str, qid: str) -> None:
+        with self._lock:
+            for key in (f"{unit_id}::{qid}", qid):
+                pending = self._pending.get(key)
+                if pending:
+                    raise pending.pop(0)
+
+    def exhausted(self) -> bool:
+        """True once every scripted fault has been raised."""
+        with self._lock:
+            return not any(self._pending.values())
+
+
+class FlakyBoundary(FaultBoundary):
+    """Deterministic pseudo-random transient faults.
+
+    A stable fraction ``rate`` of (unit, question) pairs — chosen by
+    hashing, so independent of thread scheduling — fail with
+    :class:`TransientModelError` on their first ``failures`` crossings
+    and succeed afterwards.  A run under this boundary must converge to
+    artifacts byte-identical to a fault-free run.
+    """
+
+    def __init__(self, rate: float = 0.1, failures: int = 1, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        self.rate = rate
+        self.failures = failures
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._crossings: Dict[Tuple[str, str], int] = {}
+
+    def _is_flaky(self, unit_id: str, qid: str) -> bool:
+        digest = hashlib.sha256(
+            f"{self.seed}|{unit_id}|{qid}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") / 2 ** 32 < self.rate
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if not self._is_flaky(unit_id, qid):
+            return
+        key = (unit_id, qid)
+        with self._lock:
+            crossing = self._crossings.get(key, 0)
+            self._crossings[key] = crossing + 1
+        if crossing < self.failures:
+            raise TransientModelError(
+                f"injected flake {crossing + 1}/{self.failures} for {qid}")
+
+
+class LatencyBoundary(FaultBoundary):
+    """Emulate per-call model latency (never faults).
+
+    Real sweeps are dominated by network round-trips, which is exactly
+    what thread workers overlap; the scaling benchmark uses this
+    boundary so speedups reflect the API-bound regime rather than
+    single-core CPU contention.  ``sleep`` is injectable for tests.
+    """
+
+    def __init__(self, per_question: float = 0.001,
+                 sleep: Callable[[float], None] = time.sleep):
+        if per_question < 0:
+            raise ValueError("per_question latency must be >= 0")
+        self.per_question = per_question
+        self._sleep = sleep
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if self.per_question:
+            self._sleep(self.per_question)
+
+
+class CompositeBoundary(FaultBoundary):
+    """Chain several boundaries; each crossing visits all in order."""
+
+    def __init__(self, *boundaries: FaultBoundary):
+        self.boundaries = boundaries
+
+    def check(self, unit_id: str, qid: str) -> None:
+        for boundary in self.boundaries:
+            boundary.check(unit_id, qid)

@@ -4,19 +4,25 @@
 zero-shot prompting at temperature 0.1, MC options in the prompt for the
 standard collection, the challenge collection with options removed, hybrid
 auto/manual judging, and the resolution-study variant.
+
+Sweeps (``run_table2``, :meth:`EvaluationHarness.resolution_study`) are
+executed through :class:`~repro.core.runner.ParallelRunner`, which adds
+sharding, per-question memoization, retry and checkpoint/resume on top of
+the per-unit evaluation below; ``workers=1`` (the default) preserves the
+serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
 from repro.core.dataset import Dataset
 from repro.core.metrics import EvalRecord, EvalResult
-from repro.core.question import Category
+from repro.core.question import Category, Question
 from repro.judge.llm_judge import HybridJudge
-from repro.models.vlm import NO_CHOICE, WITH_CHOICE, SimulatedVLM
+from repro.models.vlm import NO_CHOICE, WITH_CHOICE, ModelAnswer, SimulatedVLM
 
 
 class EvaluationHarness:
@@ -31,25 +37,42 @@ class EvaluationHarness:
         self.judge = judge or HybridJudge()
         self.use_raster = use_raster
 
+    def judge_answer(self, question: Question,
+                     answer: ModelAnswer) -> EvalRecord:
+        """Judge one model answer into an :class:`EvalRecord`.
+
+        The single judging entry point shared by :meth:`evaluate` and
+        the parallel runner, so judge configuration (manual overrides,
+        transcripts) applies uniformly however a run is executed.
+        """
+        verdict = self.judge.judge(question, answer.text)
+        return EvalRecord(
+            qid=question.qid,
+            category=question.category,
+            response=answer.text,
+            correct=verdict.correct,
+            judge_method=verdict.method,
+            perception=answer.perception,
+        )
+
     def evaluate(self, model: SimulatedVLM, dataset: Dataset,
-                 setting: str, resolution_factor: int = 1) -> EvalResult:
-        """Run one (model, dataset, setting) evaluation."""
+                 setting: str, resolution_factor: int = 1,
+                 use_raster: Optional[bool] = None) -> EvalResult:
+        """Run one (model, dataset, setting) evaluation.
+
+        ``use_raster`` overrides the harness-level perception mode for
+        this call only (``None`` keeps the configured default).
+        """
+        raster = self.use_raster if use_raster is None else use_raster
         questions = list(dataset)
         answers = model.answer_all(questions, setting,
                                    resolution_factor,
-                                   use_raster=self.use_raster)
+                                   use_raster=raster)
         result = EvalResult(model_name=model.name,
-                            dataset_name=dataset.name, setting=setting)
+                            dataset_name=dataset.name, setting=setting,
+                            resolution_factor=resolution_factor)
         for question, answer in zip(questions, answers):
-            verdict = self.judge.judge(question, answer.text)
-            result.add(EvalRecord(
-                qid=question.qid,
-                category=question.category,
-                response=answer.text,
-                correct=verdict.correct,
-                judge_method=verdict.method,
-                perception=answer.perception,
-            ))
+            result.add(self.judge_answer(question, answer))
         return result
 
     # -- paper protocols -----------------------------------------------------
@@ -64,33 +87,70 @@ class EvaluationHarness:
 
     def resolution_study(self, model: SimulatedVLM,
                          category: Category = Category.DIGITAL,
-                         factors: Sequence[int] = (1, 8, 16)) -> Dict[int, EvalResult]:
+                         factors: Sequence[int] = (1, 8, 16),
+                         runner: "Optional[object]" = None,
+                         workers: int = 1) -> Dict[int, EvalResult]:
         """Section IV-B: one category evaluated at downsampled resolutions.
 
-        Raster-grounded perception is forced on (the study is about image
-        quality), regardless of the harness default.
+        Raster-grounded perception is forced on per work unit (the study
+        is about image quality) while *this* harness — its judge, manual
+        overrides and any subclass behaviour — is reused unchanged; no
+        fresh harness is constructed.  Pass ``runner`` to share a cache
+        or checkpoint directory, or ``workers`` to fan the factors out.
         """
+        from repro.core.runner import ParallelRunner, WorkUnit
+
         subset = build_chipvqa().by_category(category)
-        results: Dict[int, EvalResult] = {}
-        raster_harness = EvaluationHarness(judge=self.judge, use_raster=True)
-        for factor in factors:
-            results[factor] = raster_harness.evaluate(
-                model, subset, WITH_CHOICE, resolution_factor=factor)
-        return results
+        if runner is None:
+            runner = ParallelRunner(harness=self, workers=workers)
+        units = [
+            WorkUnit(model=model, dataset=subset, setting=WITH_CHOICE,
+                     resolution_factor=factor, use_raster=True)
+            for factor in factors
+        ]
+        outcome = runner.run(units).raise_on_failure()
+        return {
+            unit.resolution_factor: outcome.result_for(unit)
+            for unit in units
+        }
 
 
 def run_table2(models: Sequence[SimulatedVLM],
-               harness: Optional[EvaluationHarness] = None
+               harness: Optional[EvaluationHarness] = None,
+               *,
+               runner: "Optional[object]" = None,
+               workers: int = 1,
+               run_dir: "Optional[Path | str]" = None,
+               resume: bool = True,
                ) -> Dict[str, Dict[str, EvalResult]]:
     """Evaluate a model list in both Table II settings.
 
+    Execution goes through :class:`~repro.core.runner.ParallelRunner`:
+    ``workers`` shards the (model, setting) cells over a thread pool
+    (``1`` = serial), ``run_dir`` checkpoints completed cells so an
+    interrupted sweep resumes instead of restarting.  Pass a
+    pre-configured ``runner`` for caches, retry policies or fault
+    boundaries.
+
     Returns ``{model name: {"with_choice": ..., "no_choice": ...}}``.
     """
+    from repro.core.runner import ParallelRunner, WorkUnit
+
     harness = harness or EvaluationHarness()
-    results: Dict[str, Dict[str, EvalResult]] = {}
+    if runner is None:
+        runner = ParallelRunner(harness=harness, workers=workers,
+                                run_dir=run_dir, resume=resume)
+    standard = build_chipvqa()
+    challenge = build_chipvqa_challenge()
+    units: List[WorkUnit] = []
     for model in models:
-        results[model.name] = {
-            WITH_CHOICE: harness.zero_shot_standard(model),
-            NO_CHOICE: harness.zero_shot_challenge(model),
-        }
+        units.append(WorkUnit(model=model, dataset=standard,
+                              setting=WITH_CHOICE))
+        units.append(WorkUnit(model=model, dataset=challenge,
+                              setting=NO_CHOICE))
+    outcome = runner.run(units).raise_on_failure()
+    results: Dict[str, Dict[str, EvalResult]] = {}
+    for unit in units:
+        results.setdefault(unit.model.name, {})[unit.setting] = \
+            outcome.result_for(unit)
     return results

@@ -24,12 +24,20 @@ class EvalRecord:
 
 @dataclass
 class EvalResult:
-    """All records of one (model, dataset, setting) evaluation run."""
+    """All records of one (model, dataset, setting) evaluation run.
+
+    ``resolution_factor`` pins the Section IV-B axis the run used, and
+    ``telemetry`` optionally carries runner-emitted measurements
+    (wall time, retry counts, cache hits — see ``docs/RUNNER.md``).
+    Both round-trip through :mod:`repro.core.results_io`.
+    """
 
     model_name: str
     dataset_name: str
     setting: str
     records: List[EvalRecord] = field(default_factory=list)
+    resolution_factor: int = 1
+    telemetry: Optional[Dict[str, float]] = None
 
     def add(self, record: EvalRecord) -> None:
         self.records.append(record)

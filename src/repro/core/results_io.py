@@ -18,15 +18,27 @@ from repro.core.question import Category
 FORMAT_VERSION = 1
 
 
-def dumps(result: EvalResult) -> str:
-    """Serialise a result to JSONL text."""
-    lines = [json.dumps({
+def dumps(result: EvalResult, telemetry: bool = True) -> str:
+    """Serialise a result to JSONL text.
+
+    ``telemetry=False`` omits the (timing-dependent) telemetry block so
+    callers that need byte-stable artifacts — the parallel runner's
+    checkpoints — can write a canonical form.
+    """
+    manifest = {
         "format_version": FORMAT_VERSION,
         "model": result.model_name,
         "dataset": result.dataset_name,
         "setting": result.setting,
+        "resolution_factor": result.resolution_factor,
         "records": len(result.records),
-    }, sort_keys=True)]
+    }
+    if telemetry and result.telemetry is not None:
+        manifest["telemetry"] = {
+            key: round(float(value), 6)
+            for key, value in sorted(result.telemetry.items())
+        }
+    lines = [json.dumps(manifest, sort_keys=True)]
     for record in result.records:
         lines.append(json.dumps({
             "qid": record.qid,
@@ -40,7 +52,12 @@ def dumps(result: EvalResult) -> str:
 
 
 def loads(text: str) -> EvalResult:
-    """Inverse of :func:`dumps`."""
+    """Inverse of :func:`dumps`.
+
+    Unknown manifest and record keys are ignored (forward
+    compatibility): a file written by a newer minor revision with extra
+    fields still loads, as long as the format version matches.
+    """
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         raise ValueError("empty results file")
@@ -52,6 +69,8 @@ def loads(text: str) -> EvalResult:
         model_name=manifest["model"],
         dataset_name=manifest["dataset"],
         setting=manifest["setting"],
+        resolution_factor=manifest.get("resolution_factor", 1),
+        telemetry=manifest.get("telemetry"),
     )
     for line in lines[1:]:
         data = json.loads(line)

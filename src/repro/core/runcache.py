@@ -1,0 +1,119 @@
+"""Content-keyed memoization of judged per-question answers.
+
+The runner caches each judged :class:`~repro.core.metrics.EvalRecord`
+under a key derived from everything the record can depend on:
+
+* **model identity** — which simulated VLM answered;
+* **question content** — the full serialised question (prompt, choices,
+  gold answer, category, difficulty, visuals), not just its id, so an
+  edited question never resurrects a stale verdict;
+* **setting** and **resolution factor** — the Table II axis and the
+  Section IV-B axis;
+* **perception mode** (``use_raster``);
+* **category cohort** — a digest of the same-category questions in the
+  work unit.  Quota-IRT realises correctness per category quota, so a
+  question's outcome is a function of its category peers; two units
+  share cache entries exactly when those peers coincide (e.g. the full
+  collection and its per-category subsets), and arbitrary slices are
+  kept apart rather than silently served wrong verdicts.
+
+The cache is the retry path's safety net: when a transient fault aborts
+a unit halfway, the retry replays only the unanswered questions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Iterable, Optional
+
+from repro.core.metrics import EvalRecord
+from repro.core.question import Question
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def question_digest(question: Question) -> str:
+    """Stable digest of a question's full serialised content."""
+    return _digest(question.to_json())
+
+
+def cohort_digest(questions: Iterable[Question]) -> str:
+    """Digest of a set of questions, order-independent.
+
+    Used for the category-cohort component of the key; passing the
+    same-category members of a work unit pins the quota context a
+    record was computed under.
+    """
+    return _digest("\n".join(sorted(question_digest(q) for q in questions)))
+
+
+def question_key(model_name: str, question: Question, setting: str,
+                 resolution_factor: int = 1, use_raster: bool = False,
+                 cohort: str = "") -> str:
+    """The cache key for one judged (model, question, context) answer.
+
+    Mutating any component — model identity, any field of the question
+    content, the setting, the resolution factor, the perception mode or
+    the cohort — yields a different key.
+    """
+    return _digest("|".join((
+        "chipvqa-runcache-v1",
+        model_name,
+        setting,
+        f"r{resolution_factor}",
+        f"raster{int(bool(use_raster))}",
+        question_digest(question),
+        cohort,
+    )))
+
+
+class RunCache:
+    """A thread-safe in-memory record cache with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: Dict[str, EvalRecord] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._records
+
+    def get(self, key: str) -> Optional[EvalRecord]:
+        """Look a record up, counting the outcome as a hit or miss."""
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return record
+
+    def peek(self, key: str) -> Optional[EvalRecord]:
+        """Look a record up without touching the hit/miss counters."""
+        with self._lock:
+            return self._records.get(key)
+
+    def put(self, key: str, record: EvalRecord) -> None:
+        with self._lock:
+            self._records[key] = record
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.hits = 0
+            self.misses = 0

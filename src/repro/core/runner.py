@@ -1,0 +1,485 @@
+"""Parallel, fault-tolerant evaluation runner with checkpoint/resume.
+
+The paper's protocol is a long sweep — 12 models x 2 settings x 142
+questions plus a resolution study — and real sweeps of that shape are
+latency-bound, failure-prone pipelines.  :class:`ParallelRunner` shards
+the sweep into :class:`WorkUnit`\\ s (one (model, dataset, setting,
+resolution) cell each), executes them across a thread pool, and wraps
+every unit in the reliability machinery a production evaluation service
+needs:
+
+* **memoization** — judged per-question answers are cached
+  content-keyed in a :class:`~repro.core.runcache.RunCache`, so a
+  retried or repeated unit replays only unanswered questions;
+* **retry with exponential backoff** — a
+  :class:`~repro.core.faults.TransientModelError` escaping the
+  pluggable fault boundary re-runs the unit after a growing delay; a
+  :class:`~repro.core.faults.PermanentError` marks the unit failed and
+  the rest of the run proceeds;
+* **checkpoint/resume** — each completed
+  :class:`~repro.core.metrics.EvalResult` is written through
+  :mod:`repro.core.results_io` into ``run_dir`` together with a
+  ``manifest.json`` progress file; a re-launched run loads intact
+  checkpoints instead of re-evaluating, and detects truncated ones;
+* **telemetry** — :class:`RunStats` records per-unit wall time, retry
+  counts, cache hits and queue depth, aggregated into the manifest.
+
+Determinism is a hard guarantee: unit evaluations are pure (seeded
+simulation + deterministic judge), so ``workers=1`` and ``workers=8``
+produce byte-identical JSONL artifacts.  See ``docs/RUNNER.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable, Dict, List, Optional, Sequence, TYPE_CHECKING,
+)
+
+from repro.core import results_io
+from repro.core.dataset import Dataset
+from repro.core.faults import (
+    FaultBoundary,
+    ModelCallError,
+    TransientModelError,
+)
+from repro.core.metrics import EvalRecord, EvalResult
+from repro.core.question import Category, Question
+from repro.core.runcache import RunCache, cohort_digest, question_key
+from repro.models.vlm import SimulatedVLM
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.core.harness import EvaluationHarness
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT_VERSION = 1
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe token for checkpoint file names."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shardable evaluation cell.
+
+    ``use_raster=None`` defers to the harness default; the resolution
+    study pins it ``True`` per unit instead of rebuilding the harness.
+    """
+
+    model: SimulatedVLM
+    dataset: Dataset
+    setting: str
+    resolution_factor: int = 1
+    use_raster: Optional[bool] = None
+
+    @property
+    def unit_id(self) -> str:
+        """Stable identifier; doubles as the checkpoint file stem."""
+        return "__".join((
+            _slug(self.model.name),
+            _slug(self.dataset.name),
+            _slug(self.setting),
+            f"r{self.resolution_factor}",
+        ))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff around transient model faults."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.max_delay,
+                   self.base_delay * self.multiplier ** (attempt - 1))
+
+
+@dataclass
+class UnitStats:
+    """Telemetry of one work unit's lifecycle."""
+
+    unit_id: str
+    status: str = "pending"      # pending | completed | failed | resumed
+    attempts: int = 0
+    retries: int = 0
+    wall_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    queue_depth: int = 0         # units still unstarted when this one began
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "unit_id": self.unit_id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "queue_depth": self.queue_depth,
+            "error": self.error,
+        }
+
+
+class RunStats:
+    """Aggregated run telemetry (thread-safe registry of unit stats)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._units: Dict[str, UnitStats] = {}
+
+    def unit(self, unit_id: str) -> UnitStats:
+        with self._lock:
+            if unit_id not in self._units:
+                self._units[unit_id] = UnitStats(unit_id=unit_id)
+            return self._units[unit_id]
+
+    def units(self) -> List[UnitStats]:
+        with self._lock:
+            return list(self._units.values())
+
+    def _count(self, status: str) -> int:
+        return sum(1 for u in self.units() if u.status == status)
+
+    @property
+    def completed(self) -> int:
+        return self._count("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def resumed(self) -> int:
+        return self._count("resumed")
+
+    @property
+    def total_retries(self) -> int:
+        return sum(u.retries for u in self.units())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(u.cache_hits for u in self.units())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(u.cache_misses for u in self.units())
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of per-question lookups served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def total_wall_time(self) -> float:
+        return sum(u.wall_time_s for u in self.units())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "units": len(self.units()),
+            "completed": self.completed,
+            "failed": self.failed,
+            "resumed": self.resumed,
+            "retries": self.total_retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate(), 6),
+            "wall_time_s": round(self.total_wall_time(), 6),
+        }
+
+
+@dataclass
+class RunOutcome:
+    """What a run produced: results in input-unit order, plus telemetry."""
+
+    results: Dict[str, EvalResult]          # unit_id -> result
+    stats: RunStats
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    def result_for(self, unit: WorkUnit) -> EvalResult:
+        return self.results[unit.unit_id]
+
+    def raise_on_failure(self) -> "RunOutcome":
+        """Raise if any unit failed (for callers needing complete tables)."""
+        if self.failures:
+            detail = "; ".join(
+                f"{uid}: {err}" for uid, err in sorted(self.failures.items()))
+            raise RuntimeError(f"{len(self.failures)} unit(s) failed: {detail}")
+        return self
+
+
+class ParallelRunner:
+    """Shard work units over a thread pool with cache/retry/checkpoint.
+
+    ``workers=1`` preserves a strictly serial path (same code, no pool);
+    any other value fans units out over a ``ThreadPoolExecutor``.
+    ``sleep`` is injectable so backoff is testable without waiting.
+    """
+
+    def __init__(
+        self,
+        harness: "Optional[EvaluationHarness]" = None,
+        workers: int = 1,
+        cache: Optional[RunCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_boundary: Optional[FaultBoundary] = None,
+        run_dir: "Optional[Path | str]" = None,
+        resume: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if harness is None:
+            from repro.core.harness import EvaluationHarness
+            harness = EvaluationHarness()
+        self.harness = harness
+        self.workers = workers
+        self.cache = cache if cache is not None else RunCache()
+        self.retry = retry or RetryPolicy()
+        self.fault_boundary = fault_boundary
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.resume = resume
+        self._sleep = sleep
+        self._manifest_lock = threading.Lock()
+        self._depth_lock = threading.Lock()
+        self._not_started = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, units: Sequence[WorkUnit]) -> RunOutcome:
+        """Execute all units; never raises for model faults (they are
+        recorded in ``outcome.failures``)."""
+        units = list(units)
+        ids = [u.unit_id for u in units]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate unit ids in {ids}")
+        stats = RunStats()
+        collected: Dict[str, EvalResult] = {}
+        if self.run_dir is not None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+
+        pending: List[WorkUnit] = []
+        for unit in units:
+            resumed = self._try_resume(unit)
+            if resumed is not None:
+                unit_stats = stats.unit(unit.unit_id)
+                unit_stats.status = "resumed"
+                resumed.telemetry = {"resumed": 1.0}
+                collected[unit.unit_id] = resumed
+            else:
+                pending.append(unit)
+
+        self._not_started = len(pending)
+        if self.workers == 1 or len(pending) <= 1:
+            for unit in pending:
+                result = self._execute(unit, units, stats)
+                if result is not None:
+                    collected[unit.unit_id] = result
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    (unit, pool.submit(self._execute, unit, units, stats))
+                    for unit in pending
+                ]
+                for unit, future in futures:
+                    result = future.result()
+                    if result is not None:
+                        collected[unit.unit_id] = result
+
+        ordered: Dict[str, EvalResult] = {}
+        for unit in units:
+            if unit.unit_id in collected:
+                ordered[unit.unit_id] = collected[unit.unit_id]
+        failures = {
+            u.unit_id: stats.unit(u.unit_id).error or "failed"
+            for u in units if stats.unit(u.unit_id).status == "failed"
+        }
+        self._write_manifest(units, stats)
+        return RunOutcome(results=ordered, stats=stats, failures=failures)
+
+    # -- unit execution ------------------------------------------------------
+
+    def _execute(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
+                 stats: RunStats) -> Optional[EvalResult]:
+        unit_stats = stats.unit(unit.unit_id)
+        with self._depth_lock:
+            self._not_started -= 1
+            unit_stats.queue_depth = self._not_started
+        start = time.perf_counter()
+        result: Optional[EvalResult] = None
+        error: Optional[BaseException] = None
+        try:
+            result = self._evaluate_with_retry(unit, unit_stats)
+        except ModelCallError as exc:
+            error = exc
+        unit_stats.wall_time_s = time.perf_counter() - start
+        if result is not None:
+            unit_stats.status = "completed"
+            self._checkpoint(unit, result)
+            result.telemetry = {
+                "wall_time_s": unit_stats.wall_time_s,
+                "attempts": float(unit_stats.attempts),
+                "retries": float(unit_stats.retries),
+                "cache_hits": float(unit_stats.cache_hits),
+                "cache_misses": float(unit_stats.cache_misses),
+            }
+        else:
+            unit_stats.status = "failed"
+            unit_stats.error = f"{type(error).__name__}: {error}"
+        self._write_manifest(all_units, stats)
+        return result
+
+    def _evaluate_with_retry(self, unit: WorkUnit,
+                             unit_stats: UnitStats) -> EvalResult:
+        last: Optional[TransientModelError] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            unit_stats.attempts = attempt
+            try:
+                return self._attempt_unit(unit, unit_stats)
+            except TransientModelError as exc:
+                last = exc
+                if attempt == self.retry.max_attempts:
+                    break
+                unit_stats.retries += 1
+                self._sleep(self.retry.delay(attempt))
+        raise TransientModelError(
+            f"{unit.unit_id}: transient fault persisted through "
+            f"{self.retry.max_attempts} attempts: {last}")
+
+    def _attempt_unit(self, unit: WorkUnit,
+                      unit_stats: UnitStats) -> EvalResult:
+        """One evaluation attempt; cache-aware, fault-boundary-guarded.
+
+        The outcome plan is always computed over the unit's *full*
+        question list (quota-IRT realises correctness per category over
+        its members), so partially-cached attempts stay byte-identical
+        to uncached ones.
+        """
+        use_raster = (self.harness.use_raster if unit.use_raster is None
+                      else unit.use_raster)
+        questions = list(unit.dataset)
+        by_category: Dict[Category, List[Question]] = {}
+        for question in questions:
+            by_category.setdefault(question.category, []).append(question)
+        cohorts = {
+            category: cohort_digest(members)
+            for category, members in by_category.items()
+        }
+        answers = None
+        records: List[EvalRecord] = []
+        for question in questions:
+            key = question_key(unit.model.name, question, unit.setting,
+                               unit.resolution_factor, use_raster,
+                               cohorts[question.category])
+            cached = self.cache.get(key)
+            if cached is not None:
+                unit_stats.cache_hits += 1
+                records.append(cached)
+                continue
+            unit_stats.cache_misses += 1
+            if answers is None:
+                answers = {
+                    answer.qid: answer
+                    for answer in unit.model.answer_all(
+                        questions, unit.setting, unit.resolution_factor,
+                        use_raster=use_raster)
+                }
+            if self.fault_boundary is not None:
+                self.fault_boundary(unit.unit_id, question.qid)
+            record = self.harness.judge_answer(question, answers[question.qid])
+            self.cache.put(key, record)
+            records.append(record)
+        result = EvalResult(
+            model_name=unit.model.name,
+            dataset_name=unit.dataset.name,
+            setting=unit.setting,
+            resolution_factor=unit.resolution_factor,
+        )
+        for record in records:
+            result.add(record)
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint_path(self, unit: WorkUnit) -> Optional[Path]:
+        if self.run_dir is None:
+            return None
+        return self.run_dir / f"{unit.unit_id}.jsonl"
+
+    def _checkpoint(self, unit: WorkUnit, result: EvalResult) -> None:
+        path = self.checkpoint_path(unit)
+        if path is None:
+            return
+        # telemetry=False keeps checkpoints canonical (byte-stable across
+        # worker counts and retry histories); the timing side lives in
+        # manifest.json.  Write-then-rename so a kill can't tear the file.
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(results_io.dumps(result, telemetry=False) + "\n",
+                       encoding="utf-8")
+        tmp.replace(path)
+
+    def _try_resume(self, unit: WorkUnit) -> Optional[EvalResult]:
+        if self.run_dir is None or not self.resume:
+            return None
+        path = self.checkpoint_path(unit)
+        if path is None or not path.exists():
+            return None
+        try:
+            result = results_io.load(path)
+        except (ValueError, KeyError):
+            return None  # truncated or corrupt checkpoint: re-evaluate
+        if (result.model_name != unit.model.name
+                or result.dataset_name != unit.dataset.name
+                or result.setting != unit.setting
+                or result.resolution_factor != unit.resolution_factor
+                or len(result.records) != len(unit.dataset)):
+            return None
+        return result
+
+    def _write_manifest(self, units: Sequence[WorkUnit],
+                        stats: RunStats) -> None:
+        if self.run_dir is None:
+            return
+        with self._manifest_lock:
+            payload = {
+                "format_version": MANIFEST_FORMAT_VERSION,
+                "units": [
+                    dict(stats.unit(unit.unit_id).as_dict(),
+                         path=f"{unit.unit_id}.jsonl")
+                    for unit in units
+                ],
+                "totals": stats.as_dict(),
+            }
+            path = self.run_dir / MANIFEST_NAME
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+            tmp.replace(path)
+
+
+def read_manifest(run_dir: "Path | str") -> Dict[str, object]:
+    """Load a run's ``manifest.json`` (unknown keys are preserved)."""
+    path = Path(run_dir) / MANIFEST_NAME
+    return json.loads(path.read_text(encoding="utf-8"))

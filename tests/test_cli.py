@@ -46,6 +46,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "16x" in out
 
+    def test_resolution_parallel_workers(self, capsys):
+        assert main(["resolution", "--factors", "1", "16",
+                     "--workers", "2"]) == 0
+        assert "16x" in capsys.readouterr().out
+
+    def test_table2_parallel_with_checkpoints(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["table2", "--models", "kosmos-2", "paligemma",
+                     "--workers", "4", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "kosmos-2" in out
+        assert "run artifacts" in out
+        checkpoints = sorted(p.name for p in run_dir.glob("*.jsonl"))
+        assert len(checkpoints) == 4  # 2 models x 2 settings
+        assert (run_dir / "manifest.json").exists()
+        # a second invocation resumes from the checkpoints
+        assert main(["table2", "--models", "kosmos-2", "paligemma",
+                     "--run-dir", str(run_dir)]) == 0
+        import json
+
+        manifest = json.loads(
+            (run_dir / "manifest.json").read_text(encoding="utf-8"))
+        assert manifest["totals"]["resumed"] == 4
+
     def test_resolution_bad_category(self):
         with pytest.raises(SystemExit):
             main(["resolution", "--category", "Quantum"])

@@ -67,6 +67,81 @@ class TestHarnessModes:
         assert mean_deg < mean_native
 
 
+class TestResolutionStudyConfig:
+    """Regression: resolution_study must reuse the caller's harness —
+    subclass behaviour, judge state and all — rather than constructing a
+    fresh EvaluationHarness per call."""
+
+    def test_study_runs_through_the_callers_harness(self):
+        class VetoHarness(EvaluationHarness):
+            """Marks every answer wrong; only observable if the study
+            actually evaluates through *this* instance."""
+
+            def __init__(self):
+                super().__init__()
+                self.judged = 0
+
+            def judge_answer(self, question, answer):
+                self.judged += 1
+                record = super().judge_answer(question, answer)
+                return type(record)(
+                    qid=record.qid, category=record.category,
+                    response=record.response, correct=False,
+                    judge_method=record.judge_method,
+                    perception=record.perception)
+
+        harness = VetoHarness()
+        study = harness.resolution_study(build_model("gpt-4o"),
+                                         factors=(1, 16))
+        assert harness.judged > 0
+        assert all(result.pass_at_1() == 0.0 for result in study.values())
+
+    def test_study_forwards_manual_judge_overrides(self, chipvqa):
+        model = build_model("gpt-4o")
+        plain = EvaluationHarness().resolution_study(model, factors=(1,))
+        wrong = next(r for r in plain[1].records if not r.correct)
+        registry = ManualCheckRegistry()
+        registry.record(wrong.qid, wrong.response, True)
+        blessed = EvaluationHarness(
+            judge=HybridJudge(manual=registry)).resolution_study(
+                model, factors=(1,))
+        assert blessed[1].correct_count() == plain[1].correct_count() + 1
+
+    def test_study_forces_raster_regardless_of_harness_mode(self):
+        """The paper's study is about image quality: raster perception
+        stays on per unit even for an analytic-mode harness, without
+        flipping that harness's own configuration."""
+        harness = EvaluationHarness(use_raster=False)
+        study = harness.resolution_study(build_model("gpt-4o"),
+                                         factors=(1, 16))
+        assert study[16].pass_at_1() < study[1].pass_at_1()
+        assert harness.use_raster is False  # caller config untouched
+
+    def test_study_parallel_factors_match_serial(self):
+        model = build_model("gpt-4o")
+        harness = EvaluationHarness()
+        serial = harness.resolution_study(model, factors=(1, 8, 16))
+        parallel = harness.resolution_study(model, factors=(1, 8, 16),
+                                            workers=3)
+        assert {f: r.pass_at_1() for f, r in serial.items()} == \
+            {f: r.pass_at_1() for f, r in parallel.items()}
+
+    def test_evaluate_use_raster_override(self, chipvqa):
+        """evaluate() takes a per-call perception-mode override instead
+        of forcing callers to build a second harness."""
+        harness = EvaluationHarness(use_raster=False)
+        digital = chipvqa.by_category(Category.DIGITAL)
+        model = build_model("gpt-4o")
+        degraded = harness.evaluate(model, digital, WITH_CHOICE,
+                                    resolution_factor=16, use_raster=True)
+        analytic = harness.evaluate(model, digital, WITH_CHOICE,
+                                    resolution_factor=16, use_raster=False)
+        raster_harness = EvaluationHarness(use_raster=True)
+        assert degraded.pass_at_1() == raster_harness.evaluate(
+            model, digital, WITH_CHOICE, resolution_factor=16).pass_at_1()
+        assert analytic.pass_at_1() != degraded.pass_at_1()
+
+
 class TestRendering:
     def test_table2_row_values_in_range(self):
         results = run_table2([build_model("phi3-vision")])

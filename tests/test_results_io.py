@@ -1,5 +1,8 @@
 """Tests for evaluation-result persistence."""
 
+import json
+import random
+
 import pytest
 
 from repro.core import results_io
@@ -55,6 +58,111 @@ class TestRoundTrip:
         assert restored.pass_at_1() == result.pass_at_1()
         assert restored.pass_at_1_by_category() == \
             result.pass_at_1_by_category()
+
+
+def _random_result(rng: random.Random) -> EvalResult:
+    """A randomised EvalResult covering every serialised field,
+    including the runner telemetry block."""
+    methods = ("auto", "manual")
+    snippets = ("B", "the gain is 40 dB", "", "x · y + z̅",
+                "refused", "42 µm", 'quoted "answer"')
+    result = EvalResult(
+        model_name=f"model-{rng.randrange(1000)}",
+        dataset_name=rng.choice(("chipvqa", "chipvqa/dig", "custom-ds")),
+        setting=rng.choice(("with_choice", "no_choice")),
+        resolution_factor=rng.choice((1, 2, 8, 16)),
+    )
+    if rng.random() < 0.7:
+        result.telemetry = {
+            "wall_time_s": round(rng.uniform(0, 100), 6),
+            "attempts": float(rng.randrange(1, 5)),
+            "retries": float(rng.randrange(0, 4)),
+            "cache_hits": float(rng.randrange(0, 200)),
+            "cache_misses": float(rng.randrange(0, 200)),
+        }
+    for index in range(rng.randrange(1, 25)):
+        result.add(EvalRecord(
+            qid=f"q-{index}",
+            category=rng.choice(list(Category)),
+            response=rng.choice(snippets),
+            correct=rng.random() < 0.5,
+            judge_method=rng.choice(methods),
+            perception=round(rng.random(), 6),
+        ))
+    return result
+
+
+class TestRoundTripProperty:
+    def test_randomised_results_round_trip(self):
+        """Property: loads(dumps(r)) == r over randomised results,
+        telemetry and resolution factor included."""
+        rng = random.Random(20260806)
+        for _ in range(50):
+            result = _random_result(rng)
+            restored = results_io.loads(results_io.dumps(result))
+            assert restored.model_name == result.model_name
+            assert restored.dataset_name == result.dataset_name
+            assert restored.setting == result.setting
+            assert restored.resolution_factor == result.resolution_factor
+            assert restored.telemetry == result.telemetry
+            assert restored.records == result.records
+
+    def test_dumps_without_telemetry_is_canonical(self):
+        rng = random.Random(11)
+        result = _random_result(rng)
+        result.telemetry = {"wall_time_s": 1.25, "attempts": 2.0}
+        stripped = results_io.dumps(result, telemetry=False)
+        assert "telemetry" not in stripped
+        restored = results_io.loads(stripped)
+        assert restored.telemetry is None
+        assert restored.records == result.records
+
+    def test_file_round_trip_preserves_telemetry(self, tmp_path):
+        result = _small_result()
+        result.telemetry = {"wall_time_s": 0.5, "retries": 1.0}
+        restored = results_io.load(
+            results_io.save(result, tmp_path / "t.jsonl"))
+        assert restored.telemetry == {"wall_time_s": 0.5, "retries": 1.0}
+
+
+class TestForwardCompatibility:
+    def test_unknown_manifest_keys_ignored(self):
+        """A file written by a future minor revision with extra manifest
+        keys must load, not crash."""
+        text = results_io.dumps(_small_result())
+        lines = text.splitlines()
+        manifest = json.loads(lines[0])
+        manifest["schema_url"] = "https://example.com/v2"
+        manifest["shard"] = {"index": 3, "of": 8}
+        lines[0] = json.dumps(manifest, sort_keys=True)
+        restored = results_io.loads("\n".join(lines))
+        assert len(restored) == 2
+        assert restored.pass_at_1() == _small_result().pass_at_1()
+
+    def test_unknown_record_keys_ignored(self):
+        text = results_io.dumps(_small_result())
+        lines = text.splitlines()
+        for index in (1, 2):
+            record = json.loads(lines[index])
+            record["latency_ms"] = 12.5
+            record["annotator"] = "a3"
+            lines[index] = json.dumps(record, sort_keys=True)
+        restored = results_io.loads("\n".join(lines))
+        assert restored.records[0].qid == "q-1"
+        assert restored.records[1].judge_method == "manual"
+
+    def test_old_files_without_new_fields_load_with_defaults(self):
+        """A pre-telemetry file (no resolution_factor/telemetry keys)
+        still loads with the documented defaults."""
+        text = results_io.dumps(_small_result())
+        lines = text.splitlines()
+        manifest = json.loads(lines[0])
+        del manifest["resolution_factor"]
+        manifest.pop("telemetry", None)
+        lines[0] = json.dumps(manifest, sort_keys=True)
+        restored = results_io.loads("\n".join(lines))
+        assert restored.resolution_factor == 1
+        assert restored.telemetry is None
 
 
 class TestRunTree:

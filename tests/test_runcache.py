@@ -1,0 +1,170 @@
+"""Tests for the content-keyed run cache: key coverage (mutating any
+input component yields a new key) and hit-rate accounting."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.question import Category
+from repro.core.runcache import (
+    RunCache,
+    cohort_digest,
+    question_digest,
+    question_key,
+)
+from repro.core.runner import ParallelRunner, WorkUnit
+from repro.core.transforms import to_short_answer
+from repro.models import NO_CHOICE, WITH_CHOICE, build_model
+
+
+@pytest.fixture(scope="module")
+def question(chipvqa):
+    return chipvqa.by_category(Category.DIGITAL)[0]
+
+
+def _key(question, **overrides):
+    params = dict(model_name="gpt-4o", question=question,
+                  setting=WITH_CHOICE, resolution_factor=1,
+                  use_raster=False, cohort="c0")
+    params.update(overrides)
+    return question_key(**params)
+
+
+class TestKeyCoverage:
+    def test_key_is_stable(self, question):
+        assert _key(question) == _key(question)
+
+    def test_model_identity_changes_key(self, question):
+        assert _key(question) != _key(question, model_name="llava-7b")
+
+    def test_setting_changes_key(self, question):
+        assert _key(question) != _key(question, setting=NO_CHOICE)
+
+    def test_resolution_factor_changes_key(self, question):
+        assert _key(question) != _key(question, resolution_factor=16)
+
+    def test_perception_mode_changes_key(self, question):
+        assert _key(question) != _key(question, use_raster=True)
+
+    def test_cohort_changes_key(self, question):
+        assert _key(question) != _key(question, cohort="c1")
+
+    def test_question_content_changes_key(self, question):
+        """Property-style: mutating any serialised question field —
+        not just the qid — produces a new key."""
+        rng = random.Random(7)
+        mutations = [
+            dataclasses.replace(question, qid=question.qid + "-x"),
+            dataclasses.replace(question, prompt=question.prompt + " ?"),
+            dataclasses.replace(
+                question,
+                difficulty=round(rng.uniform(0, 1), 3)
+                if round(rng.uniform(0, 1), 3) != question.difficulty
+                else 0.123),
+            dataclasses.replace(question, topics=question.topics + ("new",)),
+            dataclasses.replace(question, explanation="edited"),
+            to_short_answer(question),  # answer spec + choices change
+        ]
+        base = _key(question)
+        keys = [_key(mutant) for mutant in mutations]
+        assert base not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_question_digest_tracks_content(self, question):
+        same = dataclasses.replace(question)
+        assert question_digest(same) == question_digest(question)
+        edited = dataclasses.replace(question, prompt="other")
+        assert question_digest(edited) != question_digest(question)
+
+    def test_cohort_digest_order_independent(self, chipvqa):
+        digital = list(chipvqa.by_category(Category.DIGITAL))
+        assert cohort_digest(digital) == cohort_digest(reversed(digital))
+        assert cohort_digest(digital) != cohort_digest(digital[:-1])
+
+
+class TestRunCache:
+    def test_get_put_and_counters(self, question):
+        cache = RunCache()
+        key = _key(question)
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        sentinel = object()
+        cache.put(key, sentinel)
+        assert cache.get(key) is sentinel
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == 0.5
+        assert len(cache) == 1
+        assert key in cache
+
+    def test_peek_does_not_count(self, question):
+        cache = RunCache()
+        assert cache.peek(_key(question)) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.hit_rate() == 0.0
+
+    def test_clear(self, question):
+        cache = RunCache()
+        cache.put(_key(question), object())
+        cache.get(_key(question))
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestHitRateMatchesReuse:
+    def test_run_stats_hit_rate_equals_actual_reuse(self, chipvqa):
+        """Evaluating the same unit twice in one run must report exactly
+        half the lookups as hits — in both the cache's own counters and
+        the runner's RunStats."""
+        digital = chipvqa.by_category(Category.DIGITAL)
+        cache = RunCache()
+        runner = ParallelRunner(cache=cache)
+        unit = WorkUnit(model=build_model("gpt-4o"), dataset=digital,
+                        setting=WITH_CHOICE)
+        first = runner.run([unit])
+        second = runner.run([unit])
+        n = len(digital)
+        assert first.stats.cache_misses == n
+        assert first.stats.cache_hits == 0
+        assert second.stats.cache_hits == n
+        assert second.stats.cache_misses == 0
+        assert second.stats.cache_hit_rate() == 1.0
+        # global cache counters agree with the per-run telemetry
+        assert cache.hits == n
+        assert cache.misses == n
+        assert cache.hit_rate() == 0.5
+
+    def test_different_models_never_share_entries(self, chipvqa):
+        digital = chipvqa.by_category(Category.DIGITAL)
+        cache = RunCache()
+        runner = ParallelRunner(cache=cache)
+        units = [WorkUnit(model=build_model(name), dataset=digital,
+                          setting=WITH_CHOICE)
+                 for name in ("gpt-4o", "llava-7b")]
+        outcome = runner.run(units)
+        assert outcome.stats.cache_hits == 0
+        assert len(cache) == 2 * len(digital)
+
+    def test_subset_shares_cohort_with_full_collection(self, chipvqa):
+        """The per-category cohort key lets the full collection and its
+        category subset reuse each other's records (quota context is
+        identical), while an arbitrary slice must not."""
+        digital = chipvqa.by_category(Category.DIGITAL)
+        cache = RunCache()
+        runner = ParallelRunner(cache=cache)
+        model = build_model("gpt-4o")
+        runner.run([WorkUnit(model=model, dataset=chipvqa,
+                             setting=WITH_CHOICE)])
+        subset_run = runner.run([WorkUnit(model=model, dataset=digital,
+                                          setting=WITH_CHOICE)])
+        assert subset_run.stats.cache_hits == len(digital)
+        assert subset_run.stats.cache_misses == 0
+
+        half = digital.filter(
+            lambda q: q.qid <= sorted(x.qid for x in digital)[17],
+            name="chipvqa/dig-half")
+        half_run = runner.run([WorkUnit(model=model, dataset=half,
+                                        setting=WITH_CHOICE)])
+        # different cohort => no reuse: a half-category quota differs
+        assert half_run.stats.cache_hits == 0
