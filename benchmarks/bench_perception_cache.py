@@ -1,0 +1,149 @@
+"""E14 — Perception-cache effectiveness: cold vs. warm raster sweeps.
+
+The raster perception path is memoized content-addressed at three
+levels (render -> legibility -> perception; see ``docs/PERF.md``), with
+the runner's per-question answer cache above them.  This bench measures
+the warm-over-cold speedup each layer buys on the paper's own
+workloads, and pins the hard invariant that caching never changes a
+byte of the JSONL artifacts.
+
+Shapes pinned (run with ``-s`` and ``-m "slow or not slow"`` to see
+the numbers; results recorded in EXPERIMENTS.md):
+
+* one-model raster evaluation: warm substrate >= 3x faster than cold;
+* full Table II raster sweep through a shared runner: warm >= 3x
+  (measured orders of magnitude more — the answer cache short-circuits
+  every model call);
+* the Section IV-B resolution study re-run warm is >= 3x faster;
+* cold and warm artifacts are byte-identical in every case.
+"""
+
+import time
+
+import pytest
+
+from repro.core import perfstats, results_io
+from repro.core.harness import EvaluationHarness, run_table2
+from repro.core.runner import ParallelRunner
+from repro.models import WITH_CHOICE, build_model, build_zoo
+
+
+def _reset_substrate():
+    """Empty (and zero the counters of) the perception-path caches."""
+    for name in ("render", "legibility", "perception"):
+        cache = perfstats.get_cache(name)
+        if cache is not None:
+            cache.reset()
+
+
+def _canonical(result):
+    return results_io.dumps(result, telemetry=False)
+
+
+def test_warm_substrate_speeds_up_raster_evaluation():
+    """Acceptance: >= 3x warm-over-cold on the raster perception path,
+    byte-identical artifacts."""
+    harness = EvaluationHarness(use_raster=True)
+    model = build_model("gpt-4o")
+    from repro.core.benchmark import build_chipvqa
+
+    dataset = build_chipvqa()
+
+    _reset_substrate()
+    start = time.perf_counter()
+    cold = harness.evaluate(model, dataset, WITH_CHOICE)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = harness.evaluate(model, dataset, WITH_CHOICE)
+    warm_s = time.perf_counter() - start
+
+    counters = perfstats.snapshot()
+    print(f"\nraster evaluate: cold {cold_s:.3f} s -> warm {warm_s:.3f} s "
+          f"({cold_s / warm_s:.1f}x)")
+    for name in ("render", "legibility", "perception"):
+        entry = counters[name]
+        print(f"  {name:<11} hits {entry['hits']:>5}  "
+              f"misses {entry['misses']:>5}")
+
+    assert _canonical(warm) == _canonical(cold)
+    assert cold_s / warm_s >= 3.0
+    assert counters["perception"].get("hits", 0) > 0
+
+
+def test_resolution_study_rerun_is_warm():
+    """The Section IV-B study re-run through a shared runner replays
+    from caches: >= 3x faster, identical artifacts."""
+    harness = EvaluationHarness()
+    model = build_model("gpt-4o")
+    runner = ParallelRunner(harness=harness)
+
+    _reset_substrate()
+    start = time.perf_counter()
+    cold = harness.resolution_study(model, runner=runner)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = harness.resolution_study(model, runner=runner)
+    warm_s = time.perf_counter() - start
+
+    print(f"\nresolution study: cold {cold_s:.3f} s -> warm {warm_s:.3f} s "
+          f"({cold_s / warm_s:.1f}x)")
+    assert cold_s / warm_s >= 3.0
+    for factor, result in cold.items():
+        assert _canonical(warm[factor]) == _canonical(result)
+    assert runner.cache.hit_rate() > 0
+
+
+@pytest.mark.slow
+def test_warm_table2_raster_sweep_speedup():
+    """Acceptance: >= 3x warm-over-cold on a full raster-mode Table II
+    sweep through the cache hierarchy, byte-identical artifacts."""
+    harness = EvaluationHarness(use_raster=True)
+    models = build_zoo()
+    runner = ParallelRunner(harness=harness)
+
+    _reset_substrate()
+    start = time.perf_counter()
+    cold = run_table2(models, runner=runner)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_table2(models, runner=runner)
+    warm_s = time.perf_counter() - start
+
+    counters = perfstats.snapshot()
+    print(f"\nraster Table II sweep: cold {cold_s:.2f} s -> "
+          f"warm {warm_s:.2f} s ({cold_s / warm_s:.0f}x)")
+    legibility = counters["legibility"]
+    lookups = legibility["hits"] + legibility["misses"]
+    print(f"  legibility: {legibility['misses']} scored once, "
+          f"{legibility['hits']}/{lookups} lookups served warm")
+
+    assert cold_s / warm_s >= 3.0
+    for name, settings in cold.items():
+        for setting, result in settings.items():
+            assert _canonical(warm[name][setting]) == _canonical(result)
+    # 12 models share every figure's raster legibility: the cold sweep
+    # itself is mostly cache hits (each (figure, factor) scored once)
+    assert legibility["hits"] > legibility["misses"]
+
+
+@pytest.mark.slow
+def test_cold_sweep_matches_cacheless_artifacts():
+    """Hard invariant: the memoized pipeline produces byte-identical
+    artifacts to a run with every substrate cache forcibly emptied
+    between units."""
+    harness = EvaluationHarness(use_raster=True)
+    model = build_model("llava-7b")
+    from repro.core.benchmark import build_chipvqa
+
+    dataset = build_chipvqa()
+
+    _reset_substrate()
+    cached = _canonical(harness.evaluate(model, dataset, WITH_CHOICE,
+                                         resolution_factor=8))
+    _reset_substrate()
+    recold = _canonical(harness.evaluate(model, dataset, WITH_CHOICE,
+                                         resolution_factor=8))
+    assert cached == recold

@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from repro.core import perfstats
 from repro.core.faults import LatencyBoundary
 from repro.core.harness import run_table2
 from repro.core.runner import ParallelRunner
@@ -34,7 +35,9 @@ def _timed_sweep(models, workers, per_question=LATENCY_S):
 
 
 def test_parallel_sweep_speedup():
-    """Acceptance: >= 2x wall-clock speedup at 8 workers, same numbers."""
+    """Acceptance: >= 2x wall-clock speedup at 8 workers, same numbers —
+    and the perception substrate keeps a hit rate > 0 under workers."""
+    perfstats.reset()
     zoo = build_zoo()
     serial_s, serial = _timed_sweep(zoo, workers=1)
     four_s, _ = _timed_sweep(zoo, workers=4)
@@ -52,6 +55,25 @@ def test_parallel_sweep_speedup():
     for name, settings in serial.items():
         for setting, result in settings.items():
             assert eight[name][setting].pass_at_1() == result.pass_at_1()
+
+    # the content-addressed perception substrate stays effective under
+    # parallel workers: each model's challenge unit replays figures its
+    # with_choice unit already perceived, so hits accumulate even with
+    # the sweep sharded across threads
+    counters = perfstats.snapshot()
+    for name in ("render", "legibility", "perception"):
+        cache = counters[name]
+        rate = cache["hits"] / max(1, cache["hits"] + cache["misses"])
+        print(f"  {name:<11} hit rate {rate:5.1%} "
+              f"({cache['hits']}/{cache['hits'] + cache['misses']})")
+    # this sweep uses the default analytic harness, so only the
+    # perception layer is consulted (render/legibility serve the raster
+    # mode — see bench_perception_cache.py); it must stay warm even with
+    # the sweep sharded across threads
+    perception = counters["perception"]
+    assert perception["hits"] > 0, "perception cache never hit"
+    assert perception["hits"] / (perception["hits"]
+                                 + perception["misses"]) > 0.5
 
 
 def test_memoized_resweep_is_cheap():

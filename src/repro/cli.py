@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core import perfstats
 from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
 from repro.core.harness import EvaluationHarness, run_table2
 from repro.core.question import Category
@@ -39,6 +40,17 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats() -> None:
+    """Dump the perception-substrate cache counters (docs/PERF.md)."""
+    print(f"\n{'cache':<12}{'hits':>8}{'misses':>8}{'evict':>7}"
+          f"{'size':>7}{'hit rate':>10}")
+    for name, entry in perfstats.snapshot().items():
+        total = entry["hits"] + entry["misses"]
+        rate = entry["hits"] / total if total else 0.0
+        print(f"{name:<12}{entry['hits']:>8}{entry['misses']:>8}"
+              f"{entry['evictions']:>7}{entry['size']:>7}{rate:>10.3f}")
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     harness = EvaluationHarness()
     if args.models:
@@ -51,6 +63,8 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     if args.run_dir:
         print(f"\nrun artifacts -> {args.run_dir} "
               f"(checkpoints + manifest.json)")
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 
@@ -69,6 +83,8 @@ def _cmd_resolution(args: argparse.Namespace) -> int:
         build_model(args.model), category=category,
         factors=tuple(args.factors), workers=args.workers)
     print(render_resolution_study(study, category))
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
 
 
@@ -199,6 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "resumes from it (see docs/RUNNER.md)")
     p2.add_argument("--no-resume", action="store_true",
                     help="ignore existing checkpoints in --run-dir")
+    p2.add_argument("--cache-stats", action="store_true",
+                    help="print perception-substrate cache counters "
+                         "after the sweep (see docs/PERF.md)")
     p2.set_defaults(func=_cmd_table2)
 
     sub.add_parser("table3", help="Table III agent comparison") \
@@ -210,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--factors", nargs="*", type=int, default=[1, 8, 16])
     pr.add_argument("--workers", type=int, default=1,
                     help="evaluate resolution factors in parallel")
+    pr.add_argument("--cache-stats", action="store_true",
+                    help="print perception-substrate cache counters "
+                         "after the study")
     pr.set_defaults(func=_cmd_resolution)
 
     sub.add_parser("composition", help="Fig. 1 composition summary") \

@@ -1,6 +1,6 @@
 """Core: question schema, dataset, benchmark assembly, harness, metrics."""
 
-from repro.core import collection, fewshot, significance
+from repro.core import collection, fewshot, perfstats, significance
 from repro.core.benchmark import (
     BenchmarkIntegrityError,
     build_chipvqa,
@@ -39,6 +39,7 @@ __all__ = [
     "AnswerKind",
     "collection",
     "fewshot",
+    "perfstats",
     "significance",
     "AnswerSpec",
     "BenchmarkIntegrityError",

@@ -1,0 +1,215 @@
+"""Process-wide cache telemetry: counters and a shared thread-safe LRU.
+
+Every memoization layer in the perception pipeline — the raster render
+cache, the raster legibility cache, the encoder perception cache and the
+dataset cache — is built on :class:`LruCache` and exports hit/miss/
+eviction counters through the registry here.  The parallel runner folds
+:func:`snapshot` into its :class:`~repro.core.runner.RunStats` telemetry
+and ``manifest.json``, so cache effectiveness is observable in every run
+artifact rather than asserted in a benchmark once.
+
+The module is deliberately dependency-free (``threading`` and
+``collections`` only): it sits below :mod:`repro.visual`,
+:mod:`repro.models` and :mod:`repro.core`'s heavier modules in the
+import graph and must stay importable from any of them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+
+class CacheStats:
+    """Thread-safe hit/miss/eviction counters for one named cache."""
+
+    __slots__ = ("name", "_lock", "hits", "misses", "evictions")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def record_hit(self, count: int = 1) -> None:
+        with self._lock:
+            self.hits += count
+
+    def record_miss(self, count: int = 1) -> None:
+        with self._lock:
+            self.misses += count
+
+    def record_eviction(self, count: int = 1) -> None:
+        with self._lock:
+            self.evictions += count
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+
+class LruCache:
+    """A bounded, thread-safe LRU mapping with integrated counters.
+
+    Values must be safe to share between callers (the perception caches
+    store immutable floats and read-only arrays).  ``get_or_create``
+    runs the factory *outside* the lock: under a race two threads may
+    both compute, but entries are pure functions of their key, so the
+    duplicate work is benign and lock hold times stay tiny.
+    """
+
+    def __init__(self, capacity: int, name: Optional[str] = None,
+                 stats: Optional[CacheStats] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = stats or CacheStats(name or "anonymous")
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        if name is not None:
+            register(name, self)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership probe; does not touch the counters or LRU order."""
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look ``key`` up, counting a hit or miss and refreshing recency."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                value = self._entries[key]
+                hit = True
+            else:
+                value = default
+                hit = False
+        if hit:
+            self.stats.record_hit()
+        else:
+            self.stats.record_miss()
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look ``key`` up without touching counters or recency."""
+        with self._lock:
+            return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.stats.record_eviction(evicted)
+
+    def get_or_create(self, key: Hashable,
+                      factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        sentinel = _MISS
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are left untouched; see ``reset``)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset(self) -> None:
+        """Drop all entries and zero the counters."""
+        self.clear()
+        self.stats.reset()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters plus the current entry count."""
+        data = self.stats.snapshot()
+        data["size"] = len(self)
+        return data
+
+
+_MISS = object()
+
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: Dict[str, LruCache] = {}
+
+
+def register(name: str, cache: LruCache) -> LruCache:
+    """Register ``cache`` under ``name`` (last registration wins)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = cache
+    return cache
+
+
+def get_cache(name: str) -> Optional[LruCache]:
+    """The cache registered under ``name``, or ``None``."""
+    with _REGISTRY_LOCK:
+        return _REGISTRY.get(name)
+
+
+def cache_names() -> List[str]:
+    """Sorted names of every registered cache."""
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
+
+
+def snapshot() -> Dict[str, Dict[str, int]]:
+    """Counters of every registered cache, keyed by cache name."""
+    with _REGISTRY_LOCK:
+        caches = dict(_REGISTRY)
+    return {name: cache.snapshot() for name, cache in sorted(caches.items())}
+
+
+def delta(before: Dict[str, Dict[str, int]],
+          after: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    """Counter movement between two :func:`snapshot` calls.
+
+    ``size`` is reported as the *after* value (it is a level, not a
+    counter); caches absent from ``before`` count from zero.
+    """
+    moved: Dict[str, Dict[str, int]] = {}
+    for name, counters in after.items():
+        base = before.get(name, {})
+        moved[name] = {
+            key: (value if key == "size" else value - base.get(key, 0))
+            for key, value in counters.items()
+        }
+    return moved
+
+
+def total(counters: Dict[str, Dict[str, int]], field: str) -> int:
+    """Sum one counter field across a snapshot (e.g. all hits)."""
+    return sum(entry.get(field, 0) for entry in counters.values())
+
+
+def reset() -> None:
+    """Empty every registered cache and zero its counters (test hook)."""
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.values())
+    for cache in caches:
+        cache.reset()

@@ -22,7 +22,10 @@ needs:
   ``manifest.json`` progress file; a re-launched run loads intact
   checkpoints instead of re-evaluating, and detects truncated ones;
 * **telemetry** — :class:`RunStats` records per-unit wall time, retry
-  counts, cache hits and queue depth, aggregated into the manifest.
+  counts, cache hits and queue depth, aggregated into the manifest
+  together with a :mod:`repro.core.perfstats` snapshot of the
+  perception-substrate caches (render / legibility / perception /
+  dataset), so cache effectiveness is visible in every run artifact.
 
 Determinism is a hard guarantee: unit evaluations are pure (seeded
 simulation + deterministic judge), so ``workers=1`` and ``workers=8``
@@ -42,7 +45,7 @@ from typing import (
     Callable, Dict, List, Optional, Sequence, TYPE_CHECKING,
 )
 
-from repro.core import results_io
+from repro.core import perfstats, results_io
 from repro.core.dataset import Dataset
 from repro.core.faults import (
     FaultBoundary,
@@ -150,6 +153,7 @@ class RunStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._units: Dict[str, UnitStats] = {}
+        self._perf_caches: Dict[str, Dict[str, int]] = {}
 
     def unit(self, unit_id: str) -> UnitStats:
         with self._lock:
@@ -193,6 +197,24 @@ class RunStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def record_perf_caches(
+            self, counters: Dict[str, Dict[str, int]]) -> None:
+        """Attach a perception-substrate cache snapshot (see
+        :func:`repro.core.perfstats.snapshot`) to the run telemetry."""
+        with self._lock:
+            self._perf_caches = {
+                name: dict(entry) for name, entry in counters.items()
+            }
+
+    @property
+    def perf_caches(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/eviction counters of the perception-substrate caches."""
+        with self._lock:
+            return {
+                name: dict(entry)
+                for name, entry in self._perf_caches.items()
+            }
+
     def total_wall_time(self) -> float:
         return sum(u.wall_time_s for u in self.units())
 
@@ -207,6 +229,7 @@ class RunStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate(), 6),
             "wall_time_s": round(self.total_wall_time(), 6),
+            "perf_caches": self.perf_caches,
         }
 
 
@@ -316,6 +339,7 @@ class ParallelRunner:
             u.unit_id: stats.unit(u.unit_id).error or "failed"
             for u in units if stats.unit(u.unit_id).status == "failed"
         }
+        stats.record_perf_caches(perfstats.snapshot())
         self._write_manifest(units, stats)
         return RunOutcome(results=ordered, stats=stats, failures=failures)
 
@@ -328,6 +352,7 @@ class ParallelRunner:
             self._not_started -= 1
             unit_stats.queue_depth = self._not_started
         start = time.perf_counter()
+        perf_before = perfstats.snapshot()
         result: Optional[EvalResult] = None
         error: Optional[BaseException] = None
         try:
@@ -335,6 +360,12 @@ class ParallelRunner:
         except ModelCallError as exc:
             error = exc
         unit_stats.wall_time_s = time.perf_counter() - start
+        # Substrate-cache movement while this unit ran.  The perfstats
+        # counters are process-global, so under parallel workers the
+        # delta attributes concurrent units' lookups too — it is a
+        # telemetry signal, not an accounting invariant (run-level
+        # totals in the manifest are exact).
+        perf_moved = perfstats.delta(perf_before, perfstats.snapshot())
         if result is not None:
             unit_stats.status = "completed"
             self._checkpoint(unit, result)
@@ -344,10 +375,15 @@ class ParallelRunner:
                 "retries": float(unit_stats.retries),
                 "cache_hits": float(unit_stats.cache_hits),
                 "cache_misses": float(unit_stats.cache_misses),
+                "perf_cache_hits": float(
+                    perfstats.total(perf_moved, "hits")),
+                "perf_cache_misses": float(
+                    perfstats.total(perf_moved, "misses")),
             }
         else:
             unit_stats.status = "failed"
             unit_stats.error = f"{type(error).__name__}: {error}"
+        stats.record_perf_caches(perfstats.snapshot())
         self._write_manifest(all_units, stats)
         return result
 

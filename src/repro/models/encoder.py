@@ -15,8 +15,15 @@ import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.core.perfstats import LruCache
 from repro.core.question import Question, VisualContent
 from repro.visual.resolution import stroke_legibility, visual_legibility
+
+#: Content-keyed memo of perception scores: one entry per (encoder
+#: configuration, figure content, factor, raster mode).  Models sharing
+#: an encoder configuration share entries, so a 12-model sweep computes
+#: each figure's perception once per distinct encoder, not 12x.
+_PERCEPTION_CACHE = LruCache(capacity=32768, name="perception")
 
 #: Exponent translating mean perception loss into pass-rate loss.
 PERCEPTION_TO_RATE_GAMMA = 1.0
@@ -54,16 +61,39 @@ class VisualEncoder:
         longest = max(visual.width, visual.height)
         return max(1.0, longest / self.input_resolution)
 
+    def config_key(self) -> Tuple[str, int, int, float]:
+        """Everything about the encoder a perception score depends on."""
+        return (self.name, self.input_resolution, self.patch_size,
+                self.quality)
+
     def perceive(self, visual: VisualContent,
                  external_factor: int = 1, use_raster: bool = True) -> float:
         """Perception score of one visual at an external downsample factor.
 
         The external factor (the Section IV-B experiment) composes with the
         encoder's intrinsic resize; the rendered raster contributes via the
-        edge-retention legibility metric when available.
+        edge-retention legibility metric when available.  Scores are
+        memoized content-addressed (see :data:`_PERCEPTION_CACHE`): the
+        score is a pure function of the encoder configuration, the
+        visual's content and the factor, so cached and uncached paths are
+        bit-identical.
         """
         if external_factor < 1:
             raise ValueError("factor must be >= 1")
+        from repro.visual import content_key  # local import avoids a cycle
+
+        key = (self.config_key(), content_key(visual),
+               external_factor, bool(use_raster))
+        score = _PERCEPTION_CACHE.get(key)
+        if score is None:
+            score = self._perceive_uncached(visual, external_factor,
+                                            use_raster)
+            _PERCEPTION_CACHE.put(key, score)
+        return score
+
+    def _perceive_uncached(self, visual: VisualContent,
+                           external_factor: int,
+                           use_raster: bool) -> float:
         combined = int(round(
             external_factor * self.intrinsic_factor(visual)))
         combined = max(combined, 1)

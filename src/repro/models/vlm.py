@@ -96,17 +96,24 @@ class SimulatedVLM:
 
     def plan(self, questions: Sequence[Question], setting: str,
              resolution_factor: int = 1,
-             use_raster: bool = True) -> OutcomePlan:
+             use_raster: bool = True,
+             perceptions: Optional[Dict[str, float]] = None) -> OutcomePlan:
         """Quota-IRT outcome plan for an evaluation run.
 
         At native resolution the calibrated rates apply unchanged; at a
         degraded resolution each category's rate is scaled by the mean
         perception penalty (computed from the real rasters), so the plan
         *derives* the resolution study rather than hard-coding it.
+
+        ``perceptions`` (qid -> projected perception at
+        ``resolution_factor``) lets :meth:`answer_all` share one
+        perception pass between planning and answering; omitted, the map
+        is computed here.
         """
         rates = self.calibration.rates(setting)
-        perceptions = self._perceptions(questions, resolution_factor,
-                                        use_raster)
+        if perceptions is None:
+            perceptions = self._perceptions(questions, resolution_factor,
+                                            use_raster)
         multiplier: Optional[Dict[Category, float]] = None
         if resolution_factor > 1:
             native = self._perceptions(questions, 1, use_raster)
@@ -126,19 +133,27 @@ class SimulatedVLM:
     def answer_all(self, questions: Sequence[Question], setting: str,
                    resolution_factor: int = 1,
                    use_raster: bool = True) -> List[ModelAnswer]:
-        """Answer every question under one evaluation setting."""
-        plan = self.plan(questions, setting, resolution_factor, use_raster)
-        answers: List[ModelAnswer] = []
-        for question in questions:
-            answers.append(self._answer_one(question, plan,
-                                            resolution_factor, use_raster))
-        return answers
+        """Answer every question under one evaluation setting.
+
+        Perception is a single pass: the per-question map is computed
+        once, threaded into the outcome plan and reused for every
+        answer, so the encoder perceives each (question, factor) exactly
+        once per run.  (A degraded-resolution run additionally perceives
+        each question once at native resolution inside :meth:`plan` —
+        a different factor, hence a separate pass.)
+        """
+        perceptions = self._perceptions(questions, resolution_factor,
+                                        use_raster)
+        plan = self.plan(questions, setting, resolution_factor, use_raster,
+                         perceptions=perceptions)
+        return [
+            self._answer_one(question, plan, perceptions[question.qid])
+            for question in questions
+        ]
 
     def _answer_one(self, question: Question, plan: OutcomePlan,
-                    resolution_factor: int,
-                    use_raster: bool) -> ModelAnswer:
+                    perception: float) -> ModelAnswer:
         prompt = build_prompt(question, self.supports_system_prompt)
-        perception = self.perceive(question, resolution_factor, use_raster)
         correct = plan.is_correct(question.qid)
         if not correct and self.backbone.refuses(question):
             text = ""

@@ -14,7 +14,9 @@ ratio, not linguistic fidelity.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Sequence
+import threading
+from collections import OrderedDict
+from typing import Iterable, List, Sequence, Tuple
 
 _WORD_RE = re.compile(r"[A-Za-z]+|[0-9]+|[^\sA-Za-z0-9]")
 
@@ -133,8 +135,15 @@ class WordPieceTokenizer:
     #: Upper bound on a matched sub-word, keeps the greedy scan linear.
     max_piece_len = 16
 
+    #: Bound on the per-instance word memo: words repeat heavily across
+    #: the 142-prompt corpus, so the greedy scan runs once per distinct
+    #: word; the cap keeps a long-lived tokenizer's footprint fixed.
+    word_cache_limit = 4096
+
     def __init__(self, extra_vocab: Iterable[str] = ()) -> None:
         self._vocab = _build_vocab(extra_vocab)
+        self._word_cache: "OrderedDict[str, Tuple[str, ...]]" = OrderedDict()
+        self._word_cache_lock = threading.Lock()
 
     @property
     def vocab_size(self) -> int:
@@ -147,7 +156,26 @@ class WordPieceTokenizer:
             pieces.extend(self._tokenize_word(word))
         return pieces
 
-    def _tokenize_word(self, word: str) -> List[str]:
+    def _tokenize_word(self, word: str) -> Tuple[str, ...]:
+        """Memoized greedy scan of one word (LRU-bounded, thread-safe).
+
+        Returns a tuple so a cached result can be shared safely between
+        callers; :meth:`tokenize` extends its piece list from it.
+        """
+        with self._word_cache_lock:
+            cached = self._word_cache.get(word)
+            if cached is not None:
+                self._word_cache.move_to_end(word)
+                return cached
+        pieces = tuple(self._tokenize_word_uncached(word))
+        with self._word_cache_lock:
+            self._word_cache[word] = pieces
+            self._word_cache.move_to_end(word)
+            while len(self._word_cache) > self.word_cache_limit:
+                self._word_cache.popitem(last=False)
+        return pieces
+
+    def _tokenize_word_uncached(self, word: str) -> List[str]:
         lowered = word.lower()
         pieces: List[str] = []
         start = 0

@@ -5,18 +5,30 @@ The public entry point is :func:`render`, which turns a
 Figures are described declaratively as *scenes* (see
 :mod:`repro.visual.scene`); questions without a scene render as a labelled
 placeholder so every question always has pixels for the encoder.
+
+Renders are memoized **content-addressed**: the cache key is a digest of
+everything that determines the pixels (:func:`content_key`), not the
+object identity, so equal-content visuals share one raster across dataset
+rebuilds and worker threads, and a recycled ``id()`` can never alias two
+different figures.  Cached rasters are returned read-only; call
+``.copy()`` to mutate one.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 import numpy as np
 
+from repro.core.perfstats import LruCache
 from repro.core.question import VisualContent
 from repro.visual.canvas import Canvas
 from repro.visual.resolution import (
     downsample,
     edge_energy,
     legibility_score,
+    raster_legibility,
     stroke_legibility,
     visual_legibility,
 )
@@ -25,42 +37,82 @@ from repro.visual.scene import Scene, draw_scene, render_scene
 __all__ = [
     "Canvas",
     "Scene",
+    "content_key",
     "render",
     "render_scene",
     "draw_scene",
     "downsample",
     "edge_energy",
     "legibility_score",
+    "raster_legibility",
     "stroke_legibility",
     "visual_legibility",
 ]
 
-_CACHE: dict = {}
-_CACHE_LIMIT = 256
+#: Content-keyed raster cache; 142 questions carry 144 distinct visuals,
+#: so the standard collection (and its challenge twin, which shares the
+#: same visuals and therefore the same keys) fits with room to spare.
+_RENDER_CACHE = LruCache(capacity=256, name="render")
+
+
+def _jsonable(value):
+    """JSON encoder fallback for numpy scalars/arrays inside scenes."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"unserialisable scene value: {value!r}")
+
+
+def content_key(visual: VisualContent) -> str:
+    """Stable digest of everything that determines a visual's raster
+    and legibility: the render spec, dimensions, type, description and
+    declared legibility scale.  Equal-content visuals — however and
+    whenever constructed — share one key."""
+    payload = json.dumps(
+        (
+            visual.visual_type.value,
+            visual.description,
+            visual.render_spec,
+            visual.width,
+            visual.height,
+            visual.legibility_scale,
+        ),
+        sort_keys=True,
+        default=_jsonable,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def render(visual: VisualContent, use_cache: bool = True) -> np.ndarray:
     """Rasterise ``visual`` at its native resolution.
 
-    ``render_spec`` must be empty or ``("scene", [primitives...])``.  Renders
-    are cached by object identity because :class:`VisualContent` is immutable
-    and questions are long-lived.
+    ``render_spec`` must be empty or ``("scene", [primitives...])``.
+    Cached renders are keyed by :func:`content_key` and marked read-only
+    so a shared raster cannot be corrupted in place; pass
+    ``use_cache=False`` for a private writable copy.
     """
-    key = id(visual)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if not use_cache:
+        return _render_uncached(visual)
+    key = content_key(visual)
+    image = _RENDER_CACHE.get(key)
+    if image is None:
+        image = _render_uncached(visual)
+        image.setflags(write=False)
+        _RENDER_CACHE.put(key, image)
+    return image
+
+
+def _render_uncached(visual: VisualContent) -> np.ndarray:
     if visual.render_spec:
         kind = visual.render_spec[0]
         if kind != "scene":
             raise ValueError(f"unknown render spec kind: {kind!r}")
-        image = render_scene(visual.render_spec[1], visual.width, visual.height)
-    else:
-        image = _placeholder(visual)
-    if use_cache:
-        if len(_CACHE) >= _CACHE_LIMIT:
-            _CACHE.clear()
-        _CACHE[key] = image
-    return image
+        return render_scene(visual.render_spec[1], visual.width,
+                            visual.height)
+    return _placeholder(visual)
 
 
 def _placeholder(visual: VisualContent) -> np.ndarray:

@@ -12,8 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.perfstats import LruCache
 from repro.core.question import VisualContent
 from repro.visual.scene import min_stroke_scale
+
+#: Content-keyed memo of raster legibility scores: one entry per
+#: (figure content, downsample factor), shared by every encoder and
+#: every model in a sweep.  144 visuals x a handful of factors.
+_LEGIBILITY_CACHE = LruCache(capacity=4096, name="legibility")
 
 
 def downsample(image: np.ndarray, factor: int) -> np.ndarray:
@@ -75,13 +81,16 @@ def legibility_score(image: np.ndarray, factor: int) -> float:
     """
     if factor == 1:
         return 1.0
-    ink_mask = image < INK_THRESHOLD
-    if not ink_mask.any():
+    ink_rows, ink_cols = np.nonzero(image < INK_THRESHOLD)
+    if ink_rows.size == 0:
         return 1.0
     reduced = downsample(image, factor)
-    restored = upsample_nearest(reduced, factor)
-    restored = restored[: image.shape[0], : image.shape[1]]
-    visible = restored[ink_mask] < VISIBILITY_THRESHOLD
+    # Index the reduced blocks straight from the ink coordinates: the
+    # nearest-neighbour reconstruction of pixel (y, x) is exactly
+    # reduced[y // factor, x // factor], so there is no need to
+    # materialise a native-size upsampled array.
+    visible = reduced[ink_rows // factor, ink_cols // factor] \
+        < VISIBILITY_THRESHOLD
     return float(visible.mean())
 
 
@@ -103,6 +112,24 @@ def stroke_legibility(visual: VisualContent, factor: int) -> float:
     return float(max(0.0, effective))
 
 
+def raster_legibility(visual: VisualContent, factor: int) -> float:
+    """Memoized :func:`legibility_score` of a visual's rendered raster.
+
+    Keyed by ``(content_key(visual), factor)``, so twelve models sweeping
+    the same 142 figures score each (figure, factor) pair once — the
+    score depends only on the pixels and the factor, never on which
+    encoder or model asked.
+    """
+    from repro.visual import content_key, render  # local: avoids a cycle
+
+    key = (content_key(visual), factor)
+    score = _LEGIBILITY_CACHE.get(key)
+    if score is None:
+        score = legibility_score(render(visual), factor)
+        _LEGIBILITY_CACHE.put(key, score)
+    return score
+
+
 def visual_legibility(visual: VisualContent, factor: int) -> float:
     """Legibility of a question visual at a downsampling factor.
 
@@ -113,10 +140,7 @@ def visual_legibility(visual: VisualContent, factor: int) -> float:
     """
     analytic = stroke_legibility(visual, factor)
     if visual.render_spec:
-        from repro.visual import render  # local import avoids a cycle
-
-        image = render(visual)
-        return float(legibility_score(image, factor) * analytic)
+        return float(raster_legibility(visual, factor) * analytic)
     return analytic
 
 

@@ -74,6 +74,19 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["resolution", "--category", "Quantum"])
 
+    def test_table2_cache_stats(self, capsys):
+        assert main(["table2", "--models", "kosmos-2",
+                     "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "perception" in out and "render" in out
+
+    def test_resolution_cache_stats(self, capsys):
+        assert main(["resolution", "--factors", "1", "8",
+                     "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "legibility" in out and "hit rate" in out
+
     def test_composition(self, capsys):
         assert main(["composition"]) == 0
         assert "Digital Design" in capsys.readouterr().out

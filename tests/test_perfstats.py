@@ -1,0 +1,159 @@
+"""Tests for the cache-telemetry substrate (repro.core.perfstats)."""
+
+import threading
+
+import pytest
+
+from repro.core.perfstats import (
+    CacheStats,
+    LruCache,
+    delta,
+    get_cache,
+    register,
+    snapshot,
+    total,
+)
+
+
+class TestCacheStats:
+    def test_counters_accumulate(self):
+        stats = CacheStats("x")
+        stats.record_hit()
+        stats.record_hit(2)
+        stats.record_miss()
+        stats.record_eviction(3)
+        assert stats.snapshot() == {"hits": 3, "misses": 1, "evictions": 3}
+
+    def test_hit_rate(self):
+        stats = CacheStats("x")
+        assert stats.hit_rate() == 0.0
+        stats.record_hit(3)
+        stats.record_miss()
+        assert stats.hit_rate() == pytest.approx(0.75)
+
+    def test_reset(self):
+        stats = CacheStats("x")
+        stats.record_hit()
+        stats.reset()
+        assert stats.snapshot() == {"hits": 0, "misses": 0, "evictions": 0}
+
+
+class TestLruCache:
+    def test_get_put_roundtrip(self):
+        cache = LruCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.snapshot() == {"hits": 1, "misses": 1,
+                                          "evictions": 0}
+
+    def test_capacity_evicts_least_recent(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a's recency
+        cache.put("c", 3)       # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.snapshot()["evictions"] == 1
+
+    def test_peek_and_contains_leave_counters_alone(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        assert "a" in cache
+        assert cache.stats.snapshot() == {"hits": 0, "misses": 0,
+                                          "evictions": 0}
+
+    def test_get_or_create_runs_factory_once_per_key(self):
+        cache = LruCache(capacity=4)
+        calls = []
+        value = cache.get_or_create("k", lambda: calls.append(1) or 42)
+        again = cache.get_or_create("k", lambda: calls.append(1) or 42)
+        assert value == again == 42
+        assert len(calls) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(capacity=0)
+
+    def test_reset_clears_entries_and_counters(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.stats.snapshot() == {"hits": 0, "misses": 0,
+                                          "evictions": 0}
+
+    def test_thread_hammer(self):
+        """8 threads interleaving put/get never corrupt the cache."""
+        cache = LruCache(capacity=64)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(500):
+                    key = (seed * i) % 100
+                    cache.put(key, key * 2)
+                    got = cache.get(key)
+                    assert got is None or got == key * 2
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(1, 9)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+
+
+class TestRegistry:
+    def test_named_cache_registers_itself(self):
+        cache = LruCache(capacity=4, name="test-registry-probe")
+        assert get_cache("test-registry-probe") is cache
+        assert "test-registry-probe" in snapshot()
+
+    def test_snapshot_includes_size(self):
+        cache = LruCache(capacity=4, name="test-registry-size")
+        cache.put("a", 1)
+        assert snapshot()["test-registry-size"]["size"] == 1
+
+    def test_reregistration_last_wins(self):
+        first = LruCache(capacity=4)
+        second = LruCache(capacity=4)
+        register("test-registry-dup", first)
+        register("test-registry-dup", second)
+        assert get_cache("test-registry-dup") is second
+
+    def test_builtin_caches_registered(self):
+        # importing the substrate registers the pipeline caches
+        import repro.models.encoder  # noqa: F401
+        import repro.visual  # noqa: F401
+        import repro.core.benchmark  # noqa: F401
+
+        names = set(snapshot())
+        assert {"render", "legibility", "perception", "dataset"} <= names
+
+
+class TestDeltaAndTotal:
+    def test_delta_subtracts_counters_keeps_size(self):
+        before = {"c": {"hits": 2, "misses": 1, "evictions": 0, "size": 3}}
+        after = {"c": {"hits": 5, "misses": 1, "evictions": 2, "size": 4}}
+        moved = delta(before, after)
+        assert moved == {"c": {"hits": 3, "misses": 0, "evictions": 2,
+                               "size": 4}}
+
+    def test_delta_handles_new_cache(self):
+        moved = delta({}, {"c": {"hits": 2, "misses": 0, "evictions": 0,
+                                 "size": 1}})
+        assert moved["c"]["hits"] == 2
+
+    def test_total_sums_one_field(self):
+        counters = {"a": {"hits": 2}, "b": {"hits": 3}}
+        assert total(counters, "hits") == 5
+        assert total(counters, "misses") == 0

@@ -300,6 +300,26 @@ class TestTelemetry:
         reloaded = results_io.load(tmp_path / f"{units[0].unit_id}.jsonl")
         assert reloaded.telemetry is None
 
+    def test_perf_cache_counters_in_manifest_and_telemetry(
+            self, chipvqa, tmp_path):
+        """The perception-substrate cache counters flow into the run
+        manifest totals and into each result's telemetry block."""
+        units = _units(chipvqa, ("gpt-4o", "llava-7b"))
+        outcome = ParallelRunner(workers=2, run_dir=tmp_path).run(units)
+        perf = outcome.stats.perf_caches
+        assert {"render", "legibility", "perception", "dataset"} <= set(perf)
+        for counters in perf.values():
+            assert {"hits", "misses", "evictions", "size"} <= set(counters)
+        manifest = read_manifest(tmp_path)
+        assert manifest["totals"]["perf_caches"] == perf
+        result = outcome.result_for(units[0])
+        assert "perf_cache_hits" in result.telemetry
+        assert "perf_cache_misses" in result.telemetry
+        # analytic perception still consults the perception cache
+        total = (result.telemetry["perf_cache_hits"]
+                 + result.telemetry["perf_cache_misses"])
+        assert total > 0
+
     def test_cache_shared_across_identical_sweeps(self, chipvqa):
         cache = RunCache()
         units = _units(chipvqa, ("gpt-4o", "llava-7b"))

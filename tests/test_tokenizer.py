@@ -54,6 +54,38 @@ class TestBasics:
         assert default_tokenizer() is default_tokenizer()
 
 
+class TestWordMemoization:
+    def test_memoized_output_unchanged(self):
+        """The per-word cache must not change tokenization: a warmed
+        tokenizer agrees with a fresh one on every prompt word."""
+        corpus = [
+            "What is the voltage across RL?",
+            "Compute the Elmore delay of the RC ladder shown.",
+            "What is the voltage across RL?",  # repeats hit the cache
+            "xylophonist xylophonist 4700 kohm",
+        ]
+        warmed = WordPieceTokenizer()
+        for text in corpus:
+            warmed.tokenize(text)  # warm the word cache
+        for text in corpus:
+            assert warmed.tokenize(text) == \
+                WordPieceTokenizer().tokenize(text)
+
+    def test_repeated_words_populate_cache_once(self):
+        tok = WordPieceTokenizer()
+        tok.tokenize("clock clock clock signal")
+        assert len(tok._word_cache) == 2  # 'clock' and 'signal'
+
+    def test_cache_is_bounded(self):
+        tok = WordPieceTokenizer()
+        tok.word_cache_limit = 8
+        for i in range(100):
+            tok.tokenize(f"word{i}")
+        assert len(tok._word_cache) <= 8
+        # eviction never changes results
+        assert tok.tokenize("word0") == WordPieceTokenizer().tokenize("word0")
+
+
 class TestDetokenize:
     def test_round_trip_words(self, tok):
         text = "the clock signal"

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.question import VisualContent, VisualType
-from repro.visual import render, render_scene
+from repro.visual import content_key, render, render_scene
 from repro.visual.canvas import BLACK, WHITE, Canvas
 from repro.visual.diagram import (
     block_diagram_scene,
@@ -225,3 +225,90 @@ class TestRenderDispatch:
             render_spec=("scene", [{"op": "fill_rect", "xy": [0, 0],
                                     "size": [4, 4]}]))
         assert render(visual) is render(visual)
+
+
+def _fill_visual(x, size=8):
+    """A visual whose raster is uniquely determined by ``x``."""
+    return VisualContent(
+        VisualType.TABLE, f"fill at {x}",
+        render_spec=("scene", [{"op": "fill_rect", "xy": [x, 0],
+                                "size": [size, size]}]))
+
+
+class TestRenderCacheContentKeying:
+    def test_content_key_stable_across_instances(self):
+        a = _fill_visual(2)
+        b = _fill_visual(2)
+        assert a is not b
+        assert content_key(a) == content_key(b)
+
+    def test_content_key_differs_on_any_pixel_relevant_field(self):
+        base = _fill_visual(2)
+        assert content_key(base) != content_key(_fill_visual(3))
+        taller = VisualContent(base.visual_type, base.description,
+                               base.render_spec, base.width,
+                               base.height + 1)
+        assert content_key(base) != content_key(taller)
+
+    def test_equal_content_shares_one_cached_raster(self):
+        assert render(_fill_visual(4)) is render(_fill_visual(4))
+
+    def test_recycled_object_id_never_aliases(self):
+        """Regression: the old ``id(visual)``-keyed cache could serve a
+        *different* figure's raster after garbage collection reused the
+        id.  Content keying makes aliasing impossible no matter how ids
+        are recycled."""
+        import gc
+
+        stale_ids = set()
+        for x in range(0, 64, 8):
+            doomed = _fill_visual(x)
+            render(doomed)
+            stale_ids.add(id(doomed))
+            del doomed
+        gc.collect()
+        recycled = 0
+        for x in range(64, 256, 8):
+            fresh = _fill_visual(x, size=4)
+            recycled += id(fresh) in stale_ids
+            image = render(fresh)
+            # the raster must reflect *this* visual's content
+            assert image[0, x] == 0
+            assert image[0, (x + 32) % fresh.width] == WHITE
+        # CPython recycles small-object ids aggressively; if this ever
+        # stops holding the test still checks content correctness above.
+        assert recycled >= 0
+
+    def test_cached_raster_is_readonly(self):
+        image = render(_fill_visual(5))
+        with pytest.raises(ValueError):
+            image[0, 0] = 7
+
+    def test_use_cache_false_returns_private_writable_copy(self):
+        visual = _fill_visual(6)
+        image = render(visual, use_cache=False)
+        image[0, 0] = 7  # a private raster: mutation must not poison
+        assert render(visual)[0, 0] == WHITE
+
+    def test_render_thread_hammer(self):
+        """8 threads rendering a shared working set agree bit-for-bit."""
+        import threading
+
+        visuals = [_fill_visual(x) for x in range(0, 80, 8)]
+        expected = [render(v, use_cache=False) for v in visuals]
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    for v, ref in zip(visuals, expected):
+                        assert (render(v) == ref).all()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
