@@ -1,0 +1,97 @@
+"""E-ext — Resilience overhead and breaker savings.
+
+Two shapes pinned here.  First, the circuit breaker's point: when a
+model melts down permanently, fast-failing its remaining units saves
+nearly the whole retry/backoff budget the sweep would otherwise burn
+(measured in simulated backoff seconds and boundary crossings, so the
+benchmark itself runs in milliseconds).  Second, the resilience
+machinery is close to free on the healthy path: a sweep with breaker +
+deadline + quarantine enabled produces byte-identical artifacts and
+costs no extra model calls (run with ``-s`` to see the numbers).
+"""
+
+from repro.core.benchmark import build_chipvqa
+from repro.core.faults import RecordingBoundary, TransientModelError
+from repro.core.harness import run_table2
+from repro.core.question import Category
+from repro.core.resilience import CircuitBreaker, QuarantinePolicy
+from repro.core.runner import ParallelRunner, RetryPolicy, WorkUnit
+from repro.models import WITH_CHOICE, build_model, build_zoo
+
+
+class _MeltedProvider(RecordingBoundary):
+    """Every crossing of one model's units fails transiently (and is
+    counted), emulating a provider outage that outlives any retry."""
+
+    def __init__(self, model_slug):
+        super().__init__()
+        self.model_slug = model_slug
+
+    def check(self, unit_id, qid):
+        super().check(unit_id, qid)
+        if unit_id.startswith(self.model_slug):
+            raise TransientModelError(f"{self.model_slug}: 503")
+
+
+def _melted_sweep(breaker):
+    """Run one model across all five category cells against a dead
+    provider; return (backoff seconds burned, boundary crossings)."""
+    model = build_model("gpt-4o")
+    chipvqa = build_chipvqa()
+    # distinct unit ids come from distinct category subsets
+    units = [WorkUnit(model=model, dataset=chipvqa.by_category(category),
+                      setting=WITH_CHOICE) for category in Category]
+    boundary = _MeltedProvider("gpt-4o")
+    slept = []
+    runner = ParallelRunner(
+        workers=1, fault_boundary=boundary, breaker=breaker,
+        retry=RetryPolicy(max_attempts=5, base_delay=0.2, multiplier=2.0,
+                          max_delay=2.0),
+        sleep=slept.append)
+    outcome = runner.run(units)
+    assert len(outcome.failures) == len(units)
+    return sum(slept), len(boundary.calls)
+
+
+def test_breaker_saves_retry_budget():
+    """Acceptance: with a K=2 breaker, a dead model burns < half the
+    backoff seconds and boundary crossings of the breaker-less sweep."""
+    naive_sleep, naive_calls = _melted_sweep(breaker=None)
+    saved_sleep, saved_calls = _melted_sweep(
+        breaker=CircuitBreaker(failure_threshold=2))
+    print(f"\ndead-provider sweep, 5 units x 5 retry attempts")
+    print(f"  no breaker   {naive_sleep:6.1f} s backoff  "
+          f"{naive_calls:4d} crossings")
+    print(f"  breaker K=2  {saved_sleep:6.1f} s backoff  "
+          f"{saved_calls:4d} crossings  "
+          f"({naive_sleep / max(saved_sleep, 1e-9):.1f}x less backoff)")
+    assert saved_sleep <= naive_sleep / 2
+    assert saved_calls <= naive_calls / 2
+    # exact shape: only 2 of 5 units ever reach the provider
+    assert saved_sleep == naive_sleep * 2 / 5
+    assert saved_calls == naive_calls * 2 / 5
+
+
+def test_resilience_hooks_are_free_on_the_healthy_path(tmp_path):
+    """Breaker + deadline + quarantine enabled must not change a healthy
+    sweep's artifacts or add model calls."""
+    models = build_zoo()[:3]
+    plain_spy, guarded_spy = RecordingBoundary(), RecordingBoundary()
+    plain = ParallelRunner(workers=4, run_dir=tmp_path / "plain",
+                           fault_boundary=plain_spy)
+    guarded = ParallelRunner(workers=4, run_dir=tmp_path / "guarded",
+                             fault_boundary=guarded_spy,
+                             breaker=CircuitBreaker(failure_threshold=3),
+                             quarantine=QuarantinePolicy(),
+                             deadline_s=600.0)
+    run_table2(models, runner=plain)
+    run_table2(models, runner=guarded)
+    assert len(guarded_spy.calls) == len(plain_spy.calls)
+    plain_files = {p.name: p.read_bytes()
+                   for p in sorted((tmp_path / "plain").glob("*.jsonl"))}
+    guarded_files = {p.name: p.read_bytes()
+                     for p in sorted((tmp_path / "guarded").glob("*.jsonl"))}
+    assert plain_files == guarded_files
+    print(f"\nhealthy sweep: {len(plain_files)} artifacts byte-identical "
+          f"with resilience hooks on ({len(plain_spy.calls)} model calls "
+          f"either way)")

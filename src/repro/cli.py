@@ -10,6 +10,7 @@ Commands mirror the paper's experiments plus the repository's extensions:
 * ``list-models`` — the zoo with metadata
 * ``export-figures`` — write question figures as PGM images
 * ``export-dataset`` — dump the benchmark as JSONL
+* ``verify-run`` — audit a run directory's checksummed artifacts
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import perfstats
+from repro.core import perfstats, results_io
 from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
 from repro.core.harness import EvaluationHarness, run_table2
 from repro.core.question import Category
@@ -51,20 +52,81 @@ def _print_cache_stats() -> None:
               f"{entry['evictions']:>7}{entry['size']:>7}{rate:>10.3f}")
 
 
+def _print_resilience_warnings(stats) -> None:
+    """Surface salvage/integrity events a long sweep must not hide."""
+    if stats is None:
+        return
+    if stats.quarantined:
+        print(f"warning: {stats.quarantined} question(s) quarantined "
+              f"(judge_method=\"quarantined\", counted incorrect; "
+              f"see docs/RESILIENCE.md)")
+    if stats.corrupt_checkpoints:
+        print(f"warning: {stats.corrupt_checkpoints} corrupt checkpoint(s) "
+              f"rejected at resume (checksum/parse) and re-evaluated")
+    if stats.stale_checkpoints:
+        print(f"warning: {stats.stale_checkpoints} stale checkpoint(s) "
+              f"rejected at resume (metadata mismatch) and re-evaluated")
+    if stats.timed_out:
+        print(f"warning: {stats.timed_out} unit(s) timed out past their "
+              f"deadline")
+    if stats.fast_failed:
+        print(f"warning: {stats.fast_failed} unit(s) fast-failed by an "
+              f"open circuit breaker")
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.core.resilience import CircuitBreaker, QuarantinePolicy
+    from repro.core.runner import ParallelRunner
+
     harness = EvaluationHarness()
     if args.models:
         models = [build_model(name) for name in args.models]
     else:
         models = build_zoo()
-    results = run_table2(models, harness, workers=args.workers,
-                         run_dir=args.run_dir, resume=not args.no_resume)
+    runner = ParallelRunner(
+        harness=harness, workers=args.workers, run_dir=args.run_dir,
+        resume=not args.no_resume,
+        quarantine=QuarantinePolicy() if args.quarantine else None,
+        breaker=(CircuitBreaker(args.breaker)
+                 if args.breaker is not None else None),
+        deadline_s=args.deadline)
+    results = run_table2(models, harness, runner=runner)
     print(render_table2(results, dict(TABLE2_ROW_ORDER)))
     if args.run_dir:
         print(f"\nrun artifacts -> {args.run_dir} "
-              f"(checkpoints + manifest.json)")
+              f"(checkpoints + manifest.json; audit with "
+              f"`repro verify-run {args.run_dir}`)")
+    _print_resilience_warnings(runner.last_stats)
     if args.cache_stats:
         _print_cache_stats()
+    return 0
+
+
+def _cmd_verify_run(args: argparse.Namespace) -> int:
+    """Audit a run directory: parse, record counts, sha256 checksums."""
+    try:
+        audit = results_io.verify_run(args.run_dir)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not audit.files:
+        raise SystemExit(f"no artifacts to audit in {args.run_dir}")
+    for entry in audit.files:
+        line = f"{entry.status:<8} {entry.name}"
+        if entry.status in ("ok", "legacy"):
+            line += f"  ({entry.records} records)"
+        if entry.detail:
+            line += f"  {entry.detail}"
+        print(line)
+    counts = audit.counts()
+    summary = ", ".join(
+        f"{counts[status]} {status}"
+        for status in ("ok", "legacy", "corrupt", "missing")
+        if counts.get(status))
+    print(f"\n{len(audit.files)} artifact(s): {summary}")
+    if not audit.ok:
+        print("verification FAILED")
+        return 1
+    print("verification OK")
     return 0
 
 
@@ -218,6 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--cache-stats", action="store_true",
                     help="print perception-substrate cache counters "
                          "after the sweep (see docs/PERF.md)")
+    p2.add_argument("--quarantine", action="store_true",
+                    help="salvage units around permanently-faulting "
+                         "questions (recorded incorrect with "
+                         "judge_method=quarantined)")
+    p2.add_argument("--breaker", type=int, default=None, metavar="K",
+                    help="open a per-model circuit breaker after K "
+                         "consecutive unit failures and fast-fail the "
+                         "model's remaining units")
+    p2.add_argument("--deadline", type=float, default=None, metavar="S",
+                    help="per-unit wall-time deadline in seconds; "
+                         "overdue units are marked timed_out")
     p2.set_defaults(func=_cmd_table2)
 
     sub.add_parser("table3", help="Table III agent comparison") \
@@ -268,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--out", default="chipvqa.jsonl")
     pd.add_argument("--challenge", action="store_true")
     pd.set_defaults(func=_cmd_export_dataset)
+
+    pv = sub.add_parser("verify-run",
+                        help="audit a run directory's artifacts "
+                             "(checksums, record counts, manifest)")
+    pv.add_argument("run_dir", help="directory written via --run-dir")
+    pv.set_defaults(func=_cmd_verify_run)
 
     return parser
 

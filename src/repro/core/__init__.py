@@ -9,13 +9,23 @@ from repro.core.benchmark import (
 )
 from repro.core.dataset import Dataset, TokenStats
 from repro.core.faults import (
+    ChaosCheckpointWriter,
     FaultBoundary,
     LatencyBoundary,
     PermanentError,
+    SimulatedCrash,
     TransientModelError,
 )
 from repro.core.harness import EvaluationHarness, run_table2
 from repro.core.metrics import EvalRecord, EvalResult, bootstrap_ci
+from repro.core.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    QuarantinePolicy,
+    Watchdog,
+)
 from repro.core.runcache import RunCache, question_key
 from repro.core.runner import (
     ParallelRunner,
@@ -44,7 +54,15 @@ __all__ = [
     "AnswerSpec",
     "BenchmarkIntegrityError",
     "Category",
+    "ChaosCheckpointWriter",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Dataset",
+    "Deadline",
+    "DeadlineExceeded",
+    "QuarantinePolicy",
+    "SimulatedCrash",
+    "Watchdog",
     "EvalRecord",
     "EvalResult",
     "EvaluationHarness",

@@ -1,4 +1,4 @@
-"""Fault taxonomy and pluggable fault boundaries for evaluation runs.
+"""Fault taxonomy, pluggable fault boundaries, and the chaos harness.
 
 Real VLM evaluation is dominated by remote model calls that fail in two
 distinct ways: *transient* faults (rate limits, timeouts, connection
@@ -10,6 +10,14 @@ per (unit, question) evaluation — so tests can inject either class of
 failure deterministically and benchmarks can emulate the call latency
 that parallel workers exist to hide.
 
+Beyond boundary faults, the chaos harness injects failures at the
+*artifact* layer: :class:`ChaosCheckpointWriter` simulates process
+kills mid-checkpoint (:class:`SimulatedCrash`) and silent torn writes,
+which the checksummed resume path of :mod:`repro.core.results_io` must
+detect and repair.  ``tests/test_chaos.py`` proves a run under the full
+stack (flakes + poison + judge faults + crashes + tears) converges to
+artifacts byte-identical to a fault-free run.
+
 All boundaries here are thread-safe: the runner invokes them
 concurrently from its worker pool.
 """
@@ -19,7 +27,10 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+)
 
 
 class ModelCallError(RuntimeError):
@@ -33,6 +44,16 @@ class TransientModelError(ModelCallError):
 class PermanentError(ModelCallError):
     """A non-retryable failure; the unit is recorded as failed and
     skipped without killing the rest of the run."""
+
+
+class SimulatedCrash(RuntimeError):
+    """A simulated process kill (chaos injection).
+
+    Deliberately *not* a :class:`ModelCallError`: the runner's fault
+    handling must not absorb it — like a real ``kill -9`` it escapes
+    the run, leaving whatever artifacts were (partially) written for
+    the next launch to resume from.
+    """
 
 
 class FaultBoundary:
@@ -172,7 +193,13 @@ class LatencyBoundary(FaultBoundary):
 
 
 class CompositeBoundary(FaultBoundary):
-    """Chain several boundaries; each crossing visits all in order."""
+    """Chain several boundaries; each crossing visits all in order.
+
+    A raising boundary short-circuits the chain: boundaries after it
+    are not consulted for that crossing (so e.g. a latency boundary
+    placed *after* a fault injector does not sleep for calls that
+    failed before reaching the provider).
+    """
 
     def __init__(self, *boundaries: FaultBoundary):
         self.boundaries = boundaries
@@ -180,3 +207,84 @@ class CompositeBoundary(FaultBoundary):
     def check(self, unit_id: str, qid: str) -> None:
         for boundary in self.boundaries:
             boundary.check(unit_id, qid)
+
+
+class PoisonedQuestions(FaultBoundary):
+    """Permanently fail a fixed set of questions on *every* crossing.
+
+    Keys are qids or ``"unit_id::qid"`` for unit-scoped poison.  Unlike
+    :class:`ScriptedFaults` the fault never exhausts — this models a
+    genuinely poison input (a request the provider always rejects),
+    the case question-level quarantine exists to salvage.
+    """
+
+    def __init__(self, keys: Iterable[str], message: str = "poison input"):
+        self._keys = frozenset(keys)
+        self.message = message
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if qid in self._keys or f"{unit_id}::{qid}" in self._keys:
+            raise PermanentError(f"{self.message}: {qid}")
+
+
+class ChaosCheckpointWriter:
+    """Injectable checkpoint writer that simulates kills and torn writes.
+
+    The runner checkpoints through a pluggable ``(path, text)`` writer
+    (default: :func:`repro.core.results_io.atomic_write_text`).  This
+    chaos variant consults two one-shot scripts keyed by the artifact's
+    file stem (the unit id):
+
+    * ``crash_on`` — write only ``keep_fraction`` of the payload
+      *directly to the final path* (a non-atomic torn write, as a
+      pre-rename kill of a naive writer would leave) and raise
+      :class:`SimulatedCrash`, aborting the run mid-checkpoint;
+    * ``tear_on`` — the same torn write, but silently: the run carries
+      on believing the checkpoint landed, and only a checksum-verifying
+      resume or ``repro verify-run`` can tell.
+
+    Each stem faults once; subsequent writes go through atomically, so
+    a relaunch loop converges.  ``crashes`` and ``tears`` record the
+    stems actually faulted, in order, for assertions.
+    """
+
+    def __init__(self, crash_on: Iterable[str] = (),
+                 tear_on: Iterable[str] = (),
+                 keep_fraction: float = 0.5):
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+        self._lock = threading.Lock()
+        self._pending_crash = set(crash_on)
+        self._pending_tear = set(tear_on)
+        self.keep_fraction = keep_fraction
+        self.crashes: List[str] = []
+        self.tears: List[str] = []
+
+    def pending(self) -> bool:
+        """True while any scripted crash or tear has not fired yet."""
+        with self._lock:
+            return bool(self._pending_crash or self._pending_tear)
+
+    def __call__(self, path: "Path | str", text: str) -> None:
+        from repro.core.results_io import atomic_write_text
+
+        path = Path(path)
+        stem = path.stem
+        with self._lock:
+            if stem in self._pending_crash:
+                self._pending_crash.discard(stem)
+                self.crashes.append(stem)
+                mode = "crash"
+            elif stem in self._pending_tear:
+                self._pending_tear.discard(stem)
+                self.tears.append(stem)
+                mode = "tear"
+            else:
+                mode = "clean"
+        if mode == "clean":
+            atomic_write_text(path, text)
+            return
+        torn = text[: max(1, int(len(text) * self.keep_fraction))]
+        path.write_text(torn, encoding="utf-8")
+        if mode == "crash":
+            raise SimulatedCrash(f"simulated kill mid-checkpoint of {stem}")

@@ -85,6 +85,13 @@ class EvalResult:
     def manual_check_count(self) -> int:
         return sum(1 for r in self.records if r.judge_method == "manual")
 
+    def quarantined_count(self) -> int:
+        """Questions salvaged by quarantine (``judge_method ==
+        "quarantined"``); always counted incorrect — see
+        :mod:`repro.core.resilience`."""
+        return sum(1 for r in self.records
+                   if r.judge_method == "quarantined")
+
 
 def bootstrap_ci(flags: Sequence[bool], confidence: float = 0.95,
                  resamples: int = 2000, seed: int = 7) -> Tuple[float, float]:

@@ -25,11 +25,23 @@ needs:
   counts, cache hits and queue depth, aggregated into the manifest
   together with a :mod:`repro.core.perfstats` snapshot of the
   perception-substrate caches (render / legibility / perception /
-  dataset), so cache effectiveness is visible in every run artifact.
+  dataset), so cache effectiveness is visible in every run artifact;
+* **resilience** — the :mod:`repro.core.resilience` layer: a per-model
+  :class:`~repro.core.resilience.CircuitBreaker` fast-fails the
+  remaining units of a repeatedly-failing model, per-unit deadlines
+  (cooperative :class:`~repro.core.resilience.Deadline` checks at
+  every boundary crossing plus a
+  :class:`~repro.core.resilience.Watchdog` for wedged workers) resolve
+  hung units as ``timed_out``, and a
+  :class:`~repro.core.resilience.QuarantinePolicy` salvages a unit
+  around its permanently-faulting questions.  Checkpoints are
+  checksummed (``results_io`` format v2) and resume rejects corrupt or
+  stale files, counting them in :class:`RunStats`.
 
 Determinism is a hard guarantee: unit evaluations are pure (seeded
 simulation + deterministic judge), so ``workers=1`` and ``workers=8``
-produce byte-identical JSONL artifacts.  See ``docs/RUNNER.md``.
+produce byte-identical JSONL artifacts.  See ``docs/RUNNER.md`` and
+``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -50,10 +62,19 @@ from repro.core.dataset import Dataset
 from repro.core.faults import (
     FaultBoundary,
     ModelCallError,
+    PermanentError,
     TransientModelError,
 )
 from repro.core.metrics import EvalRecord, EvalResult
 from repro.core.question import Category, Question
+from repro.core.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    QuarantinePolicy,
+    Watchdog,
+    quarantined_record,
+)
 from repro.core.runcache import RunCache, cohort_digest, question_key
 from repro.models.vlm import SimulatedVLM
 
@@ -124,13 +145,17 @@ class UnitStats:
     """Telemetry of one work unit's lifecycle."""
 
     unit_id: str
-    status: str = "pending"      # pending | completed | failed | resumed
+    #: pending | completed | failed | resumed | fast_failed | timed_out
+    status: str = "pending"
     attempts: int = 0
     retries: int = 0
     wall_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     queue_depth: int = 0         # units still unstarted when this one began
+    quarantined: int = 0         # questions salvaged as judge_method=quarantined
+    corrupt_checkpoints: int = 0  # resume files rejected: parse/checksum
+    stale_checkpoints: int = 0    # resume files rejected: metadata mismatch
     error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -143,6 +168,9 @@ class UnitStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "queue_depth": self.queue_depth,
+            "quarantined": self.quarantined,
+            "corrupt_checkpoints": self.corrupt_checkpoints,
+            "stale_checkpoints": self.stale_checkpoints,
             "error": self.error,
         }
 
@@ -179,6 +207,26 @@ class RunStats:
     @property
     def resumed(self) -> int:
         return self._count("resumed")
+
+    @property
+    def fast_failed(self) -> int:
+        return self._count("fast_failed")
+
+    @property
+    def timed_out(self) -> int:
+        return self._count("timed_out")
+
+    @property
+    def quarantined(self) -> int:
+        return sum(u.quarantined for u in self.units())
+
+    @property
+    def corrupt_checkpoints(self) -> int:
+        return sum(u.corrupt_checkpoints for u in self.units())
+
+    @property
+    def stale_checkpoints(self) -> int:
+        return sum(u.stale_checkpoints for u in self.units())
 
     @property
     def total_retries(self) -> int:
@@ -224,6 +272,11 @@ class RunStats:
             "completed": self.completed,
             "failed": self.failed,
             "resumed": self.resumed,
+            "fast_failed": self.fast_failed,
+            "timed_out": self.timed_out,
+            "quarantined": self.quarantined,
+            "corrupt_checkpoints": self.corrupt_checkpoints,
+            "stale_checkpoints": self.stale_checkpoints,
             "retries": self.total_retries,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -233,9 +286,18 @@ class RunStats:
         }
 
 
+#: Unit statuses that count as failures in ``RunOutcome.failures``.
+FAILURE_STATUSES = ("failed", "fast_failed", "timed_out")
+
+
 @dataclass
 class RunOutcome:
-    """What a run produced: results in input-unit order, plus telemetry."""
+    """What a run produced: results in input-unit order, plus telemetry.
+
+    ``failures`` maps every unresolved unit — permanently failed,
+    fast-failed by an open circuit breaker, or timed out past its
+    deadline — to its error string.
+    """
 
     results: Dict[str, EvalResult]          # unit_id -> result
     stats: RunStats
@@ -258,7 +320,17 @@ class ParallelRunner:
 
     ``workers=1`` preserves a strictly serial path (same code, no pool);
     any other value fans units out over a ``ThreadPoolExecutor``.
-    ``sleep`` is injectable so backoff is testable without waiting.
+    ``sleep`` and ``clock`` are injectable so backoff and deadlines are
+    testable without waiting.
+
+    Resilience hooks (all optional, see ``docs/RESILIENCE.md``):
+    ``breaker`` fast-fails units of a model whose circuit has opened;
+    ``deadline_s`` bounds each unit's wall time (checked cooperatively
+    at every fault-boundary crossing, and by a watchdog thread that
+    marks wedged units ``timed_out``); ``quarantine`` salvages a unit
+    around permanently-faulting questions; ``checkpoint_writer``
+    replaces the atomic checkpoint write (the chaos harness injects
+    crashes and torn writes through it).
     """
 
     def __init__(
@@ -271,9 +343,17 @@ class ParallelRunner:
         run_dir: "Optional[Path | str]" = None,
         resume: bool = True,
         sleep: Callable[[float], None] = time.sleep,
+        breaker: Optional[CircuitBreaker] = None,
+        quarantine: Optional[QuarantinePolicy] = None,
+        deadline_s: Optional[float] = None,
+        watchdog_interval: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        checkpoint_writer: Optional[Callable[[Path, str], None]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
         if harness is None:
             from repro.core.harness import EvaluationHarness
             harness = EvaluationHarness()
@@ -285,6 +365,16 @@ class ParallelRunner:
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.resume = resume
         self._sleep = sleep
+        self.breaker = breaker
+        self.quarantine = quarantine
+        self.deadline_s = deadline_s
+        self.watchdog_interval = watchdog_interval
+        self._clock = clock
+        self._checkpoint_writer = (checkpoint_writer
+                                   or results_io.atomic_write_text)
+        #: RunStats of the most recent :meth:`run` (for CLI summaries).
+        self.last_stats: Optional[RunStats] = None
+        self._watchdog: Optional[Watchdog] = None
         self._manifest_lock = threading.Lock()
         self._depth_lock = threading.Lock()
         self._not_started = 0
@@ -299,15 +389,16 @@ class ParallelRunner:
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate unit ids in {ids}")
         stats = RunStats()
+        self.last_stats = stats
         collected: Dict[str, EvalResult] = {}
         if self.run_dir is not None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
 
         pending: List[WorkUnit] = []
         for unit in units:
-            resumed = self._try_resume(unit)
+            unit_stats = stats.unit(unit.unit_id)
+            resumed = self._try_resume(unit, unit_stats)
             if resumed is not None:
-                unit_stats = stats.unit(unit.unit_id)
                 unit_stats.status = "resumed"
                 resumed.telemetry = {"resumed": 1.0}
                 collected[unit.unit_id] = resumed
@@ -315,21 +406,31 @@ class ParallelRunner:
                 pending.append(unit)
 
         self._not_started = len(pending)
-        if self.workers == 1 or len(pending) <= 1:
-            for unit in pending:
-                result = self._execute(unit, units, stats)
-                if result is not None:
-                    collected[unit.unit_id] = result
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    (unit, pool.submit(self._execute, unit, units, stats))
-                    for unit in pending
-                ]
-                for unit, future in futures:
-                    result = future.result()
+        if self.deadline_s is not None:
+            self._watchdog = Watchdog(
+                clock=self._clock, interval=self.watchdog_interval,
+                on_timeout=lambda uid: self._write_manifest(units, stats))
+            self._watchdog.start()
+        try:
+            if self.workers == 1 or len(pending) <= 1:
+                for unit in pending:
+                    result = self._execute(unit, units, stats)
                     if result is not None:
                         collected[unit.unit_id] = result
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    futures = [
+                        (unit, pool.submit(self._execute, unit, units, stats))
+                        for unit in pending
+                    ]
+                    for unit, future in futures:
+                        result = future.result()
+                        if result is not None:
+                            collected[unit.unit_id] = result
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.stop()
+                self._watchdog = None
 
         ordered: Dict[str, EvalResult] = {}
         for unit in units:
@@ -337,7 +438,8 @@ class ParallelRunner:
                 ordered[unit.unit_id] = collected[unit.unit_id]
         failures = {
             u.unit_id: stats.unit(u.unit_id).error or "failed"
-            for u in units if stats.unit(u.unit_id).status == "failed"
+            for u in units
+            if stats.unit(u.unit_id).status in FAILURE_STATUSES
         }
         stats.record_perf_caches(perfstats.snapshot())
         self._write_manifest(units, stats)
@@ -351,14 +453,37 @@ class ParallelRunner:
         with self._depth_lock:
             self._not_started -= 1
             unit_stats.queue_depth = self._not_started
+        model_key = unit.model.name
+        if self.breaker is not None and not self.breaker.allow(model_key):
+            # fast-fail: no boundary crossing, no retry budget spent
+            unit_stats.status = "fast_failed"
+            unit_stats.error = (
+                f"CircuitOpenError: circuit open for model {model_key!r} "
+                f"after {self.breaker.failure_threshold} consecutive "
+                f"failures")
+            self.breaker.record_fast_fail(model_key)
+            self._write_manifest(all_units, stats)
+            return None
+        deadline: Optional[Deadline] = None
+        if self.deadline_s is not None:
+            deadline = Deadline(self.deadline_s, clock=self._clock)
+            if self._watchdog is not None:
+                self._watchdog.register(unit.unit_id, deadline, unit_stats)
         start = time.perf_counter()
         perf_before = perfstats.snapshot()
         result: Optional[EvalResult] = None
         error: Optional[BaseException] = None
+        timed_out = False
         try:
-            result = self._evaluate_with_retry(unit, unit_stats)
+            result = self._evaluate_with_retry(unit, unit_stats, deadline)
+        except DeadlineExceeded as exc:
+            error = exc
+            timed_out = True
         except ModelCallError as exc:
             error = exc
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.unregister(unit.unit_id)
         unit_stats.wall_time_s = time.perf_counter() - start
         # Substrate-cache movement while this unit ran.  The perfstats
         # counters are process-global, so under parallel workers the
@@ -380,32 +505,43 @@ class ParallelRunner:
                 "perf_cache_misses": float(
                     perfstats.total(perf_moved, "misses")),
             }
+            if unit_stats.quarantined:
+                result.telemetry["quarantined"] = float(
+                    unit_stats.quarantined)
+            if self.breaker is not None:
+                self.breaker.record_success(model_key)
         else:
-            unit_stats.status = "failed"
+            unit_stats.status = "timed_out" if timed_out else "failed"
             unit_stats.error = f"{type(error).__name__}: {error}"
+            if self.breaker is not None:
+                self.breaker.record_failure(model_key, unit_stats.error)
         stats.record_perf_caches(perfstats.snapshot())
         self._write_manifest(all_units, stats)
         return result
 
-    def _evaluate_with_retry(self, unit: WorkUnit,
-                             unit_stats: UnitStats) -> EvalResult:
+    def _evaluate_with_retry(self, unit: WorkUnit, unit_stats: UnitStats,
+                             deadline: Optional[Deadline] = None
+                             ) -> EvalResult:
         last: Optional[TransientModelError] = None
         for attempt in range(1, self.retry.max_attempts + 1):
             unit_stats.attempts = attempt
             try:
-                return self._attempt_unit(unit, unit_stats)
+                return self._attempt_unit(unit, unit_stats, deadline)
             except TransientModelError as exc:
                 last = exc
                 if attempt == self.retry.max_attempts:
                     break
+                if deadline is not None:
+                    # an overdue unit must not burn more backoff time
+                    deadline.check(unit.unit_id)
                 unit_stats.retries += 1
                 self._sleep(self.retry.delay(attempt))
         raise TransientModelError(
             f"{unit.unit_id}: transient fault persisted through "
             f"{self.retry.max_attempts} attempts: {last}")
 
-    def _attempt_unit(self, unit: WorkUnit,
-                      unit_stats: UnitStats) -> EvalResult:
+    def _attempt_unit(self, unit: WorkUnit, unit_stats: UnitStats,
+                      deadline: Optional[Deadline] = None) -> EvalResult:
         """One evaluation attempt; cache-aware, fault-boundary-guarded.
 
         The outcome plan is always computed over the unit's *full*
@@ -435,6 +571,11 @@ class ParallelRunner:
                 records.append(cached)
                 continue
             unit_stats.cache_misses += 1
+            if deadline is not None:
+                # the deadline-aware boundary crossing: an overdue unit
+                # resolves as timed_out at the next question, not after
+                # grinding through the remainder of the list
+                deadline.check(unit.unit_id, question.qid)
             if answers is None:
                 answers = {
                     answer.qid: answer
@@ -442,9 +583,19 @@ class ParallelRunner:
                         questions, unit.setting, unit.resolution_factor,
                         use_raster=use_raster)
                 }
-            if self.fault_boundary is not None:
-                self.fault_boundary(unit.unit_id, question.qid)
-            record = self.harness.judge_answer(question, answers[question.qid])
+            try:
+                if self.fault_boundary is not None:
+                    self.fault_boundary(unit.unit_id, question.qid)
+                record = self.harness.judge_answer(
+                    question, answers[question.qid])
+            except PermanentError:
+                if (self.quarantine is None
+                        or not self.quarantine.admit(unit_stats.quarantined)):
+                    raise
+                # salvage the unit: mark this question quarantined
+                # (deterministically incorrect) and keep going
+                unit_stats.quarantined += 1
+                record = quarantined_record(question)
             self.cache.put(key, record)
             records.append(record)
         result = EvalResult(
@@ -470,13 +621,22 @@ class ParallelRunner:
             return
         # telemetry=False keeps checkpoints canonical (byte-stable across
         # worker counts and retry histories); the timing side lives in
-        # manifest.json.  Write-then-rename so a kill can't tear the file.
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(results_io.dumps(result, telemetry=False) + "\n",
-                       encoding="utf-8")
-        tmp.replace(path)
+        # manifest.json.  The writer is atomic (write-then-rename) by
+        # default and injectable so the chaos harness can simulate kills
+        # and torn writes at exactly this point.
+        self._checkpoint_writer(
+            path, results_io.dumps(result, telemetry=False) + "\n")
 
-    def _try_resume(self, unit: WorkUnit) -> Optional[EvalResult]:
+    def _try_resume(self, unit: WorkUnit,
+                    unit_stats: UnitStats) -> Optional[EvalResult]:
+        """Load the unit's checkpoint if it is intact and matches.
+
+        Rejections are never silent: a file that fails to parse or
+        whose checksum mismatches counts as a ``corrupt_checkpoint``,
+        one whose metadata or record count disagrees with the unit as a
+        ``stale_checkpoint`` — both surfaced per unit in the manifest
+        and warned about by the CLI.
+        """
         if self.run_dir is None or not self.resume:
             return None
         path = self.checkpoint_path(unit)
@@ -485,12 +645,15 @@ class ParallelRunner:
         try:
             result = results_io.load(path)
         except (ValueError, KeyError):
-            return None  # truncated or corrupt checkpoint: re-evaluate
+            # truncated, torn or checksum-mismatched: re-evaluate
+            unit_stats.corrupt_checkpoints += 1
+            return None
         if (result.model_name != unit.model.name
                 or result.dataset_name != unit.dataset.name
                 or result.setting != unit.setting
                 or result.resolution_factor != unit.resolution_factor
                 or len(result.records) != len(unit.dataset)):
+            unit_stats.stale_checkpoints += 1
             return None
         return result
 
@@ -508,11 +671,11 @@ class ParallelRunner:
                 ],
                 "totals": stats.as_dict(),
             }
-            path = self.run_dir / MANIFEST_NAME
-            tmp = path.with_name(path.name + ".tmp")
-            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                           encoding="utf-8")
-            tmp.replace(path)
+            if self.breaker is not None:
+                payload["breaker"] = self.breaker.as_dict()
+            results_io.atomic_write_text(
+                self.run_dir / MANIFEST_NAME,
+                json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def read_manifest(run_dir: "Path | str") -> Dict[str, object]:

@@ -1,5 +1,6 @@
 """Judge substrate: the hybrid auto/manual answer-equivalence evaluation."""
 
+from repro.judge.chaos import FaultInjectingJudge
 from repro.judge.equivalence import (
     answers_equivalent,
     boolean_equivalent,
@@ -16,6 +17,7 @@ from repro.judge.normalize import (
 
 __all__ = [
     "AutoJudge",
+    "FaultInjectingJudge",
     "HybridJudge",
     "ManualCheckRegistry",
     "Verdict",

@@ -1,0 +1,54 @@
+"""Judge-fault injection for chaos testing.
+
+A real deployment's judge is itself a remote LLM call (the paper
+prompts GPT-4 for binary verdicts), so it fails the same ways the
+evaluated model does: rate limits, timeouts, content filters.
+:class:`FaultInjectingJudge` wraps any judge with a scripted fault
+sequence per question id, raising into the runner's existing
+retry/quarantine machinery — a transient judge fault is retried with
+backoff, a permanent one quarantines the question.  Once a question's
+script is exhausted the wrapped judge answers normally, so a chaos run
+converges to the fault-free verdicts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.question import Question
+from repro.judge.llm_judge import Verdict
+
+
+class FaultInjectingJudge:
+    """Wrap a judge; raise scripted exceptions before delegating.
+
+    ``script`` maps a qid to a list of exceptions consumed one per
+    :meth:`judge` call for that question (mirroring
+    :class:`~repro.core.faults.ScriptedFaults`).  Thread-safe: the
+    runner judges concurrently from its worker pool.
+
+    Duck-typed drop-in for :class:`~repro.judge.llm_judge.HybridJudge`
+    anywhere a harness accepts a judge.
+    """
+
+    def __init__(self, inner: object,
+                 script: Mapping[str, Sequence[Exception]]):
+        self.inner = inner
+        self._lock = threading.Lock()
+        self._pending: Dict[str, List[Exception]] = {
+            qid: list(faults) for qid, faults in script.items()
+        }
+
+    def judge(self, question: Question, response: str) -> Verdict:
+        """Raise the next scripted fault for this qid, else delegate."""
+        with self._lock:
+            pending = self._pending.get(question.qid)
+            if pending:
+                raise pending.pop(0)
+        return self.inner.judge(question, response)
+
+    def exhausted(self) -> bool:
+        """True once every scripted judge fault has been raised."""
+        with self._lock:
+            return not any(self._pending.values())

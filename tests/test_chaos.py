@@ -1,0 +1,225 @@
+"""Chaos harness tests: crash/torn-write/judge-fault injection, and the
+acceptance criterion that a run under the full fault stack converges to
+artifacts byte-identical to a fault-free run."""
+
+import pytest
+
+from repro.core import results_io
+from repro.core.faults import (
+    ChaosCheckpointWriter,
+    CompositeBoundary,
+    FlakyBoundary,
+    PermanentError,
+    PoisonedQuestions,
+    SimulatedCrash,
+    TransientModelError,
+)
+from repro.core.harness import EvaluationHarness
+from repro.core.question import Category
+from repro.core.resilience import QUARANTINED_METHOD, QuarantinePolicy
+from repro.core.runner import ParallelRunner, RetryPolicy, WorkUnit
+from repro.judge import FaultInjectingJudge, HybridJudge
+from repro.models import WITH_CHOICE, build_model
+
+
+def _units(chipvqa, model_names=("gpt-4o", "llava-7b", "kosmos-2")):
+    subset = chipvqa.by_category(Category.DIGITAL)
+    return [WorkUnit(model=build_model(name), dataset=subset,
+                     setting=WITH_CHOICE) for name in model_names]
+
+
+class TestChaosCheckpointWriter:
+    def test_crash_is_one_shot_and_leaves_torn_file(self, tmp_path):
+        writer = ChaosCheckpointWriter(crash_on={"unit-a"})
+        path = tmp_path / "unit-a.jsonl"
+        payload = "x" * 100 + "\n"
+        with pytest.raises(SimulatedCrash):
+            writer(path, payload)
+        # the torn prefix reached the *final* path — a non-atomic write
+        torn = path.read_text(encoding="utf-8")
+        assert 0 < len(torn) < len(payload)
+        assert payload.startswith(torn)
+        assert writer.crashes == ["unit-a"]
+        assert not writer.pending()
+        # second write of the same stem goes through atomically
+        writer(path, payload)
+        assert path.read_text(encoding="utf-8") == payload
+
+    def test_tear_is_silent(self, tmp_path):
+        writer = ChaosCheckpointWriter(tear_on={"unit-b"}, keep_fraction=0.3)
+        path = tmp_path / "unit-b.jsonl"
+        writer(path, "y" * 50)  # no exception: the run believes it landed
+        assert path.read_text(encoding="utf-8") == "y" * 15
+        assert writer.tears == ["unit-b"]
+        writer(path, "y" * 50)
+        assert path.read_text(encoding="utf-8") == "y" * 50
+
+    def test_unscripted_stems_write_atomically(self, tmp_path):
+        writer = ChaosCheckpointWriter(crash_on={"other"})
+        path = tmp_path / "unit-c.jsonl"
+        writer(path, "z\n")
+        assert path.read_text(encoding="utf-8") == "z\n"
+        assert writer.pending()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosCheckpointWriter(keep_fraction=1.0)
+
+
+class TestFaultInjectingJudge:
+    def test_scripted_fault_then_delegate(self, chipvqa):
+        question = chipvqa.by_category(Category.DIGITAL)[0]
+        judge = FaultInjectingJudge(
+            HybridJudge(),
+            {question.qid: [TransientModelError("judge rate limit")]})
+        assert not judge.exhausted()
+        with pytest.raises(TransientModelError):
+            judge.judge(question, "some response")
+        assert judge.exhausted()
+        verdict = judge.judge(question, "some response")
+        assert verdict == HybridJudge().judge(question, "some response")
+
+    def test_unscripted_questions_pass_through(self, chipvqa):
+        q0, q1 = chipvqa.by_category(Category.DIGITAL)[:2]
+        judge = FaultInjectingJudge(
+            HybridJudge(), {q0.qid: [PermanentError("content filter")]})
+        assert judge.judge(q1, "r") == HybridJudge().judge(q1, "r")
+
+    def test_judge_faults_feed_runner_retry_and_quarantine(self, chipvqa):
+        """Transient judge faults retry; permanent ones quarantine."""
+        units = _units(chipvqa, ("gpt-4o",))
+        qids = [q.qid for q in chipvqa.by_category(Category.DIGITAL)]
+        judge = FaultInjectingJudge(HybridJudge(), {
+            qids[0]: [TransientModelError("judge 429")],
+            qids[2]: [PermanentError("judge content filter"),
+                      PermanentError("judge content filter")],
+        })
+        runner = ParallelRunner(
+            harness=EvaluationHarness(judge=judge),
+            quarantine=QuarantinePolicy(), sleep=lambda d: None)
+        outcome = runner.run(units)
+        assert not outcome.failures
+        result = outcome.result_for(units[0])
+        assert outcome.stats.total_retries == 1
+        assert result.quarantined_count() == 1
+        bad = [r for r in result.records if r.qid == qids[2]][0]
+        assert bad.judge_method == QUARANTINED_METHOD
+
+
+class TestSimulatedCrashEscapes:
+    def test_runner_does_not_absorb_crashes(self, chipvqa, tmp_path):
+        units = _units(chipvqa, ("gpt-4o",))
+        runner = ParallelRunner(
+            run_dir=tmp_path,
+            checkpoint_writer=ChaosCheckpointWriter(
+                crash_on={units[0].unit_id}))
+        with pytest.raises(SimulatedCrash):
+            runner.run(units)
+        # the kill left a torn artifact behind for resume to reject
+        torn = tmp_path / f"{units[0].unit_id}.jsonl"
+        assert torn.exists()
+        with pytest.raises(ValueError):
+            results_io.load(torn)
+
+
+class TestChaosConvergence:
+    """The acceptance criterion: a chaos run over the Table II sweep
+    converges to artifacts byte-identical to a fault-free run (modulo
+    deterministically-quarantined records), and ``verify-run`` vouches
+    for the result."""
+
+    def test_chaos_run_converges_to_clean_artifacts(self, chipvqa,
+                                                    tmp_path):
+        units = _units(chipvqa)
+        qids = [q.qid for q in chipvqa.by_category(Category.DIGITAL)]
+        poison_qid = qids[3]
+        poison_unit = units[1].unit_id
+
+        # the full fault stack: transient flakes + a permanently
+        # poisoned (unit, question) + judge faults + a process kill
+        # mid-checkpoint + a silent torn write
+        boundary = CompositeBoundary(
+            FlakyBoundary(rate=0.12, failures=1, seed=5),
+            PoisonedQuestions({f"{poison_unit}::{poison_qid}"}))
+        judge = FaultInjectingJudge(HybridJudge(), {
+            qids[0]: [TransientModelError("judge rate limit")],
+        })
+        writer = ChaosCheckpointWriter(crash_on={units[0].unit_id},
+                                       tear_on={units[2].unit_id})
+        chaos_dir = tmp_path / "chaos"
+
+        launches = 0
+        outcome = None
+        for _ in range(8):  # relaunch loop: each pass is a "process"
+            launches += 1
+            runner = ParallelRunner(
+                harness=EvaluationHarness(judge=judge),
+                workers=1, run_dir=chaos_dir,
+                fault_boundary=boundary,
+                quarantine=QuarantinePolicy(),
+                retry=RetryPolicy(max_attempts=25, base_delay=0.0),
+                sleep=lambda d: None,
+                checkpoint_writer=writer)
+            try:
+                outcome = runner.run(units)
+            except SimulatedCrash:
+                continue  # the "process" died; relaunch resumes
+            if (not writer.pending()
+                    and outcome.stats.corrupt_checkpoints == 0
+                    and outcome.stats.stale_checkpoints == 0):
+                break
+        else:
+            pytest.fail("chaos run did not converge in 8 launches")
+
+        # launch 1 crashes; 2 repairs the crash and tears unit 3;
+        # 3 repairs the tear; 4 resumes everything cleanly
+        assert launches == 4
+        assert writer.crashes == [units[0].unit_id]
+        assert writer.tears == [units[2].unit_id]
+        assert not outcome.failures
+        assert outcome.stats.resumed == len(units)
+
+        # fault-free reference run
+        clean_dir = tmp_path / "clean"
+        clean = ParallelRunner(workers=1, run_dir=clean_dir).run(units)
+        assert not clean.failures
+
+        # crash-hit and tear-hit units converged to byte-identical files
+        for unit in (units[0], units[2]):
+            name = f"{unit.unit_id}.jsonl"
+            assert ((chaos_dir / name).read_bytes()
+                    == (clean_dir / name).read_bytes())
+
+        # the poisoned unit differs only in its quarantined line
+        chaos_lines = (chaos_dir / f"{poison_unit}.jsonl").read_text(
+            encoding="utf-8").splitlines()
+        clean_lines = (clean_dir / f"{poison_unit}.jsonl").read_text(
+            encoding="utf-8").splitlines()
+        assert len(chaos_lines) == len(clean_lines)
+        differing = [i for i, (a, b) in
+                     enumerate(zip(chaos_lines, clean_lines)) if a != b]
+        assert len(differing) == 2  # the manifest checksum + one record
+        assert differing[0] == 0    # line 0 is the manifest
+        import json
+        bad = json.loads(chaos_lines[differing[1]])
+        assert bad["qid"] == poison_qid
+        assert bad["judge_method"] == QUARANTINED_METHOD
+        assert bad["correct"] is False
+        quarantined = results_io.load(chaos_dir / f"{poison_unit}.jsonl")
+        assert quarantined.quarantined_count() == 1
+
+        # the converged artifacts verify...
+        audit = results_io.verify_run(chaos_dir)
+        assert audit.ok
+        assert audit.counts()["ok"] == len(units)
+
+        # ...and a single flipped byte is caught
+        victim = chaos_dir / f"{units[2].unit_id}.jsonl"
+        original = victim.read_bytes()
+        victim.write_bytes(original.replace(b'"correct"', b'"cXrrect"', 1))
+        broken = results_io.verify_run(chaos_dir)
+        assert not broken.ok
+        statuses = {f.name: f.status for f in broken.files}
+        assert statuses[victim.name] == "corrupt"
+        victim.write_bytes(original)
+        assert results_io.verify_run(chaos_dir).ok

@@ -120,3 +120,71 @@ class TestCommands:
         path = tmp_path / "fig.pgm"
         assert main(["show", "mfg-01", "--figure", str(path)]) == 0
         assert path.exists()
+
+
+class TestResilienceFlags:
+    def test_table2_accepts_resilience_flags(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["table2", "--models", "kosmos-2",
+                     "--run-dir", str(run_dir), "--quarantine",
+                     "--breaker", "3", "--deadline", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "kosmos-2" in out
+        # healthy run: none of the resilience warnings fire
+        assert "warning:" not in out
+
+    def test_table2_warns_about_corrupt_checkpoint(self, tmp_path,
+                                                   capsys):
+        run_dir = tmp_path / "run"
+        assert main(["table2", "--models", "kosmos-2",
+                     "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        victim = sorted(run_dir.glob("*.jsonl"))[0]
+        victim.write_bytes(
+            victim.read_bytes().replace(b'"correct"', b'"cXrrect"', 1))
+        assert main(["table2", "--models", "kosmos-2",
+                     "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "warning: 1 corrupt checkpoint(s)" in out
+
+
+class TestVerifyRun:
+    def _make_run(self, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main(["table2", "--models", "kosmos-2",
+                     "--run-dir", str(run_dir)]) == 0
+        return run_dir
+
+    def test_ok_run_exits_zero(self, tmp_path, capsys):
+        run_dir = self._make_run(tmp_path)
+        capsys.readouterr()
+        assert main(["verify-run", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "verification OK" in out
+        assert "2 ok" in out  # 1 model x 2 settings
+
+    def test_flipped_byte_exits_one(self, tmp_path, capsys):
+        run_dir = self._make_run(tmp_path)
+        victim = sorted(run_dir.glob("*.jsonl"))[0]
+        victim.write_bytes(
+            victim.read_bytes().replace(b'"correct"', b'"cXrrect"', 1))
+        capsys.readouterr()
+        assert main(["verify-run", str(run_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "verification FAILED" in out
+        assert "corrupt" in out
+
+    def test_missing_checkpoint_exits_one(self, tmp_path, capsys):
+        run_dir = self._make_run(tmp_path)
+        sorted(run_dir.glob("*.jsonl"))[0].unlink()
+        capsys.readouterr()
+        assert main(["verify-run", str(run_dir)]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_bad_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["verify-run", str(tmp_path / "nope")])
+
+    def test_empty_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["verify-run", str(tmp_path)])

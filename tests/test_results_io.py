@@ -19,6 +19,16 @@ def _small_result():
     return result
 
 
+def _with_checksum(manifest_line, record_lines):
+    """Patch a manifest line's sha256 to match the given record lines."""
+    import hashlib
+
+    head = json.loads(manifest_line)
+    head["sha256"] = hashlib.sha256(
+        "\n".join(record_lines).encode("utf-8")).hexdigest()
+    return json.dumps(head, sort_keys=True)
+
+
 class TestRoundTrip:
     def test_dumps_loads(self):
         result = _small_result()
@@ -39,7 +49,8 @@ class TestRoundTrip:
 
     def test_version_checked(self):
         text = results_io.dumps(_small_result()).replace(
-            '"format_version": 1', '"format_version": 99')
+            f'"format_version": {results_io.FORMAT_VERSION}',
+            '"format_version": 99')
         with pytest.raises(ValueError, match="format"):
             results_io.loads(text)
 
@@ -147,6 +158,8 @@ class TestForwardCompatibility:
             record["latency_ms"] = 12.5
             record["annotator"] = "a3"
             lines[index] = json.dumps(record, sort_keys=True)
+        # a writer adding record fields recomputes the checksum too
+        lines[0] = _with_checksum(lines[0], lines[1:])
         restored = results_io.loads("\n".join(lines))
         assert restored.records[0].qid == "q-1"
         assert restored.records[1].judge_method == "manual"
@@ -165,6 +178,72 @@ class TestForwardCompatibility:
         assert restored.telemetry is None
 
 
+class TestChecksums:
+    def test_manifest_line_carries_sha256(self):
+        head = json.loads(results_io.dumps(_small_result()).splitlines()[0])
+        assert head["format_version"] == 2
+        assert len(head["sha256"]) == 64
+
+    def test_bit_flip_in_record_detected(self):
+        text = results_io.dumps(_small_result())
+        flipped = text.replace('"response": "A"', '"response": "B"')
+        assert flipped != text  # the flip landed
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            results_io.loads(flipped)
+
+    def test_v1_file_without_checksum_still_loads(self):
+        """Backward compatibility: pre-checksum artifacts load cleanly."""
+        lines = results_io.dumps(_small_result()).splitlines()
+        head = json.loads(lines[0])
+        head["format_version"] = 1
+        del head["sha256"]
+        lines[0] = json.dumps(head, sort_keys=True)
+        restored = results_io.loads("\n".join(lines))
+        assert len(restored) == 2
+        assert restored.pass_at_1() == _small_result().pass_at_1()
+
+    def test_v2_file_missing_checksum_rejected(self):
+        lines = results_io.dumps(_small_result()).splitlines()
+        head = json.loads(lines[0])
+        del head["sha256"]
+        lines[0] = json.dumps(head, sort_keys=True)
+        with pytest.raises(ValueError, match="missing its sha256"):
+            results_io.loads("\n".join(lines))
+
+    def test_checksum_identical_for_same_records(self):
+        """The checksum covers records only, so telemetry (which varies
+        run to run) does not perturb it."""
+        result = _small_result()
+        bare = json.loads(results_io.dumps(result).splitlines()[0])
+        result.telemetry = {"wall_time_s": 1.5}
+        timed = json.loads(results_io.dumps(result).splitlines()[0])
+        assert bare["sha256"] == timed["sha256"]
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = results_io.save(_small_result(), tmp_path / "r.jsonl")
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        """Overwriting an existing artifact swaps whole files: the torn
+        intermediate of a naive in-place write never exists."""
+        path = tmp_path / "r.jsonl"
+        results_io.save(_small_result(), path)
+        bigger = _small_result()
+        bigger.add(EvalRecord("q-3", Category.DIGITAL, "C", True,
+                              "auto", 1.0))
+        results_io.save(bigger, path)
+        assert len(results_io.load(path)) == 3
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_atomic_write_text_round_trips(self, tmp_path):
+        target = tmp_path / "x.txt"
+        results_io.atomic_write_text(target, "payload\n")
+        assert target.read_text(encoding="utf-8") == "payload\n"
+
+
 class TestRunTree:
     def test_save_load_run(self, tmp_path):
         results = run_table2([build_model("kosmos-2")])
@@ -179,3 +258,63 @@ class TestRunTree:
     def test_empty_dir_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             results_io.load_run(tmp_path)
+
+    def test_model_name_containing_double_underscore(self, tmp_path):
+        """Regression: the stem is split on the *last* ``__``, so a
+        model named ``llava__next`` round-trips instead of being
+        mis-split into model ``llava`` / setting ``next__no_choice``."""
+        result = _small_result()
+        result.model_name = "llava__next"
+        results_io.save_run({"llava__next": {"no_choice": result}},
+                            tmp_path)
+        restored = results_io.load_run(tmp_path)
+        assert set(restored) == {"llava__next"}
+        assert set(restored["llava__next"]) == {"no_choice"}
+
+
+class TestVerify:
+    def test_verify_file_ok(self, tmp_path):
+        path = results_io.save(_small_result(), tmp_path / "r.jsonl")
+        audit = results_io.verify_file(path)
+        assert audit.status == "ok"
+        assert audit.records == 2
+
+    def test_verify_file_legacy_v1(self, tmp_path):
+        lines = results_io.dumps(_small_result()).splitlines()
+        head = json.loads(lines[0])
+        head["format_version"] = 1
+        del head["sha256"]
+        lines[0] = json.dumps(head, sort_keys=True)
+        path = tmp_path / "old.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        audit = results_io.verify_file(path)
+        assert audit.status == "legacy"
+
+    def test_verify_file_corrupt_and_missing(self, tmp_path):
+        path = results_io.save(_small_result(), tmp_path / "r.jsonl")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace('"correct": true', '"correct": false'),
+                        encoding="utf-8")
+        assert results_io.verify_file(path).status == "corrupt"
+        assert results_io.verify_file(tmp_path / "gone.jsonl").status == \
+            "missing"
+
+    def test_verify_run_flags_missing_manifest_entries(self, tmp_path):
+        from repro.core.runner import ParallelRunner, WorkUnit
+        from repro.core.question import Category
+        from repro.models import WITH_CHOICE
+        from repro.core.benchmark import build_chipvqa
+
+        subset = build_chipvqa().by_category(Category.DIGITAL)
+        unit = WorkUnit(model=build_model("kosmos-2"), dataset=subset,
+                        setting=WITH_CHOICE)
+        ParallelRunner(run_dir=tmp_path).run([unit])
+        assert results_io.verify_run(tmp_path).ok
+        (tmp_path / f"{unit.unit_id}.jsonl").unlink()
+        audit = results_io.verify_run(tmp_path)
+        assert not audit.ok
+        assert audit.counts().get("missing") == 1
+
+    def test_verify_run_rejects_non_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="not a run directory"):
+            results_io.verify_run(tmp_path / "nope")
