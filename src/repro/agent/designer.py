@@ -70,6 +70,27 @@ class ChipDesignerAgent:
         self.designer = designer or LlmBackbone(
             name="gpt-4-turbo", params_billion=175.0, text_ability=0.88)
 
+    def config_payload(self) -> Dict[str, object]:
+        """Configuration identity for provider fingerprinting.
+
+        Consumed by :func:`repro.models.providers._model_config_payload`
+        when the agent is wrapped in a
+        :class:`~repro.models.providers.LocalProvider`, so an agent with
+        a swapped designer backbone or tool backend never shares cache
+        or checkpoint entries with the default configuration.
+        """
+        return {
+            "kind": "chip-designer-agent",
+            "name": self.name,
+            "designer": {
+                "name": self.designer.name,
+                "params_billion": self.designer.params_billion,
+                "text_ability": self.designer.text_ability,
+            },
+            "tool": self.tool.config_payload(),
+            "followup_fidelity": self.FOLLOWUP_FIDELITY,
+        }
+
     def _rates(self, setting: str) -> Mapping[Category, float]:
         if setting == WITH_CHOICE:
             return AGENT_RATES_WITH_CHOICE

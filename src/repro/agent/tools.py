@@ -12,10 +12,11 @@ Table I.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.core.question import Question, VisualContent, VisualType
+from repro.models.providers import ModelProvider
 
 #: How faithfully a prose description carries each figure type's
 #: task-relevant content.  Structural/graph-like figures describe well;
@@ -39,10 +40,33 @@ DESCRIPTION_FIDELITY: Dict[VisualType, float] = {
 
 @dataclass
 class VisionTool:
-    """Wraps a VLM as a describe-the-image tool."""
+    """Wraps a VLM as a describe-the-image tool.
+
+    Any :class:`~repro.models.providers.ModelProvider` can serve as the
+    backend: pass one as ``backend`` and the tool reports that provider's
+    name as its ``backend_model`` and folds its configuration fingerprint
+    into :meth:`config_payload`.  With no backend the tool models the
+    paper's GPT-4o default and behaves byte-identically to before the
+    provider abstraction existed.
+    """
 
     name: str = "describe_image"
     backend_model: str = "gpt-4o"
+    backend: Optional[ModelProvider] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            self.backend_model = self.backend.name
+
+    def config_payload(self) -> Dict[str, object]:
+        """The tool's identity for provider fingerprinting."""
+        payload: Dict[str, object] = {
+            "tool": self.name,
+            "backend_model": self.backend_model,
+        }
+        if self.backend is not None:
+            payload["backend_fingerprint"] = self.backend.config_fingerprint()
+        return payload
 
     def describe(self, visual: VisualContent) -> str:
         """A prose description of one visual, as the tool would return."""

@@ -74,6 +74,31 @@ def _print_resilience_warnings(stats) -> None:
               f"open circuit breaker")
 
 
+def _wrap_provider(provider, args: argparse.Namespace):
+    """Apply the ``--provider`` serving stack to one base provider.
+
+    ``local`` is the base provider untouched (the byte-identical
+    reproduction path).  ``remote`` wraps it in a
+    :class:`~repro.models.providers.RemoteStubProvider` with the
+    ``--latency`` / ``--failure-rate`` profile.  ``batched`` adds a
+    :class:`~repro.models.providers.BatchingProvider` on top (over the
+    remote stub when a latency/failure profile is given, else directly
+    over the base).  See docs/PROVIDERS.md.
+    """
+    from repro.models.providers import BatchingProvider, RemoteStubProvider
+
+    if args.provider == "local":
+        return provider
+    if args.provider == "remote" or args.latency or args.failure_rate:
+        provider = RemoteStubProvider(provider,
+                                      base_latency_s=args.latency,
+                                      transient_rate=args.failure_rate)
+    if args.provider == "batched":
+        provider = BatchingProvider(provider,
+                                    max_batch_size=args.batch_size)
+    return provider
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.core.resilience import CircuitBreaker, QuarantinePolicy
     from repro.core.runner import ParallelRunner
@@ -83,6 +108,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         models = [build_model(name) for name in args.models]
     else:
         models = build_zoo()
+    models = [_wrap_provider(provider, args) for provider in models]
     runner = ParallelRunner(
         harness=harness, workers=args.workers, run_dir=args.run_dir,
         resume=not args.no_resume,
@@ -270,6 +296,23 @@ def build_parser() -> argparse.ArgumentParser:
     p2 = sub.add_parser("table2", help="Table II zero-shot sweep")
     p2.add_argument("--models", nargs="*",
                     help="subset of zoo names (default: all twelve)")
+    p2.add_argument("--provider", choices=["local", "remote", "batched"],
+                    default="local",
+                    help="serving path: in-process (local), simulated "
+                         "HTTP endpoint (remote), or batch-coalescing "
+                         "over the endpoint (batched); see "
+                         "docs/PROVIDERS.md")
+    p2.add_argument("--batch-size", type=int, default=16, metavar="N",
+                    help="max coalesced batch size for "
+                         "--provider batched")
+    p2.add_argument("--latency", type=float, default=0.0, metavar="S",
+                    help="simulated per-call endpoint latency in "
+                         "seconds (remote/batched providers)")
+    p2.add_argument("--failure-rate", type=float, default=0.0,
+                    metavar="P",
+                    help="simulated transient-failure probability per "
+                         "call (remote/batched providers); absorbed by "
+                         "the runner's retry path")
     p2.add_argument("--workers", type=int, default=1,
                     help="parallel evaluation workers (1 = serial)")
     p2.add_argument("--run-dir", default=None,

@@ -21,12 +21,21 @@ from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
 from repro.core.dataset import Dataset
 from repro.core.metrics import EvalRecord, EvalResult
 from repro.core.question import Category, Question
+from repro.core.runner import ParallelRunner, WorkUnit
 from repro.judge.llm_judge import HybridJudge
-from repro.models.vlm import NO_CHOICE, WITH_CHOICE, ModelAnswer, SimulatedVLM
+from repro.models.providers import ModelProvider, as_provider
+from repro.models.vlm import NO_CHOICE, WITH_CHOICE, ModelAnswer
 
 
 class EvaluationHarness:
-    """Zero-shot VQA evaluation of simulated VLMs."""
+    """Zero-shot VQA evaluation through the provider abstraction.
+
+    Models are addressed as :class:`~repro.models.providers.ModelProvider`
+    instances; raw ``answer_all``-compatible objects (a
+    :class:`~repro.models.vlm.SimulatedVLM`, the chip-designer agent, a
+    fine-tuned variant) are accepted everywhere and coerced via
+    :func:`~repro.models.providers.as_provider`.
+    """
 
     def __init__(self, judge: Optional[HybridJudge] = None,
                  use_raster: bool = False):
@@ -55,20 +64,21 @@ class EvaluationHarness:
             perception=answer.perception,
         )
 
-    def evaluate(self, model: SimulatedVLM, dataset: Dataset,
+    def evaluate(self, model: ModelProvider, dataset: Dataset,
                  setting: str, resolution_factor: int = 1,
                  use_raster: Optional[bool] = None) -> EvalResult:
-        """Run one (model, dataset, setting) evaluation.
+        """Run one (provider, dataset, setting) evaluation.
 
         ``use_raster`` overrides the harness-level perception mode for
         this call only (``None`` keeps the configured default).
         """
         raster = self.use_raster if use_raster is None else use_raster
+        provider = as_provider(model)
         questions = list(dataset)
-        answers = model.answer_all(questions, setting,
-                                   resolution_factor,
-                                   use_raster=raster)
-        result = EvalResult(model_name=model.name,
+        answers = provider.answer_batch(questions, setting,
+                                        resolution_factor,
+                                        use_raster=raster)
+        result = EvalResult(model_name=provider.name,
                             dataset_name=dataset.name, setting=setting,
                             resolution_factor=resolution_factor)
         for question, answer in zip(questions, answers):
@@ -77,18 +87,18 @@ class EvaluationHarness:
 
     # -- paper protocols -----------------------------------------------------
 
-    def zero_shot_standard(self, model: SimulatedVLM) -> EvalResult:
+    def zero_shot_standard(self, model: ModelProvider) -> EvalResult:
         """Table II, left half: the standard collection with choices."""
         return self.evaluate(model, build_chipvqa(), WITH_CHOICE)
 
-    def zero_shot_challenge(self, model: SimulatedVLM) -> EvalResult:
+    def zero_shot_challenge(self, model: ModelProvider) -> EvalResult:
         """Table II, right half: all MC questions recast as short answer."""
         return self.evaluate(model, build_chipvqa_challenge(), NO_CHOICE)
 
-    def resolution_study(self, model: SimulatedVLM,
+    def resolution_study(self, model: ModelProvider,
                          category: Category = Category.DIGITAL,
                          factors: Sequence[int] = (1, 8, 16),
-                         runner: "Optional[object]" = None,
+                         runner: Optional[ParallelRunner] = None,
                          workers: int = 1) -> Dict[int, EvalResult]:
         """Section IV-B: one category evaluated at downsampled resolutions.
 
@@ -98,8 +108,6 @@ class EvaluationHarness:
         fresh harness is constructed.  Pass ``runner`` to share a cache
         or checkpoint directory, or ``workers`` to fan the factors out.
         """
-        from repro.core.runner import ParallelRunner, WorkUnit
-
         subset = build_chipvqa().by_category(category)
         if runner is None:
             runner = ParallelRunner(harness=self, workers=workers)
@@ -115,27 +123,26 @@ class EvaluationHarness:
         }
 
 
-def run_table2(models: Sequence[SimulatedVLM],
+def run_table2(models: "Sequence[ModelProvider | str]",
                harness: Optional[EvaluationHarness] = None,
                *,
-               runner: "Optional[object]" = None,
+               runner: Optional[ParallelRunner] = None,
                workers: int = 1,
                run_dir: "Optional[Path | str]" = None,
                resume: bool = True,
                ) -> Dict[str, Dict[str, EvalResult]]:
-    """Evaluate a model list in both Table II settings.
+    """Evaluate a provider list in both Table II settings.
 
-    Execution goes through :class:`~repro.core.runner.ParallelRunner`:
-    ``workers`` shards the (model, setting) cells over a thread pool
-    (``1`` = serial), ``run_dir`` checkpoints completed cells so an
-    interrupted sweep resumes instead of restarting.  Pass a
-    pre-configured ``runner`` for caches, retry policies or fault
-    boundaries.
+    ``models`` entries may be providers, raw models, or provider
+    registry names (strings).  Execution goes through
+    :class:`~repro.core.runner.ParallelRunner`: ``workers`` shards the
+    (provider, setting) cells over a thread pool (``1`` = serial),
+    ``run_dir`` checkpoints completed cells so an interrupted sweep
+    resumes instead of restarting.  Pass a pre-configured ``runner``
+    for caches, retry policies or fault boundaries.
 
-    Returns ``{model name: {"with_choice": ..., "no_choice": ...}}``.
+    Returns ``{provider name: {"with_choice": ..., "no_choice": ...}}``.
     """
-    from repro.core.runner import ParallelRunner, WorkUnit
-
     harness = harness or EvaluationHarness()
     if runner is None:
         runner = ParallelRunner(harness=harness, workers=workers,
@@ -151,6 +158,6 @@ def run_table2(models: Sequence[SimulatedVLM],
     outcome = runner.run(units).raise_on_failure()
     results: Dict[str, Dict[str, EvalResult]] = {}
     for unit in units:
-        results.setdefault(unit.model.name, {})[unit.setting] = \
+        results.setdefault(unit.provider.name, {})[unit.setting] = \
             outcome.result_for(unit)
     return results

@@ -3,7 +3,10 @@
 The runner caches each judged :class:`~repro.core.metrics.EvalRecord`
 under a key derived from everything the record can depend on:
 
-* **model identity** — which simulated VLM answered;
+* **provider identity** — the provider name *and* its
+  ``config_fingerprint()``, so two differently-configured providers
+  sharing a display name (e.g. a local zoo model and a remote stub
+  wrapping it with failure injection) can never alias entries;
 * **question content** — the full serialised question (prompt, choices,
   gold answer, category, difficulty, visuals), not just its id, so an
   edited question never resurrects a stale verdict;
@@ -52,16 +55,20 @@ def cohort_digest(questions: Iterable[Question]) -> str:
 
 def question_key(model_name: str, question: Question, setting: str,
                  resolution_factor: int = 1, use_raster: bool = False,
-                 cohort: str = "") -> str:
-    """The cache key for one judged (model, question, context) answer.
+                 cohort: str = "", provider_fingerprint: str = "") -> str:
+    """The cache key for one judged (provider, question, context) answer.
 
-    Mutating any component — model identity, any field of the question
-    content, the setting, the resolution factor, the perception mode or
-    the cohort — yields a different key.
+    Mutating any component — provider identity (name or configuration
+    fingerprint), any field of the question content, the setting, the
+    resolution factor, the perception mode or the cohort — yields a
+    different key.  ``provider_fingerprint`` is the provider's
+    ``config_fingerprint()``; the empty default keys by name alone
+    (the pre-provider behaviour, kept for direct callers).
     """
     return _digest("|".join((
-        "chipvqa-runcache-v1",
+        "chipvqa-runcache-v2",
         model_name,
+        provider_fingerprint,
         setting,
         f"r{resolution_factor}",
         f"raster{int(bool(use_raster))}",

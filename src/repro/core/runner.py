@@ -76,7 +76,11 @@ from repro.core.resilience import (
     quarantined_record,
 )
 from repro.core.runcache import RunCache, cohort_digest, question_key
-from repro.models.vlm import SimulatedVLM
+from repro.models.providers import (
+    ModelProvider,
+    as_provider,
+    create_provider,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
     from repro.core.harness import EvaluationHarness
@@ -94,21 +98,38 @@ def _slug(text: str) -> str:
 class WorkUnit:
     """One shardable evaluation cell.
 
+    ``model`` accepts any :class:`~repro.models.providers.ModelProvider`,
+    a raw ``answer_all``-compatible model (wrapped in a
+    :class:`~repro.models.providers.LocalProvider`), or a provider
+    *registry name* (a string, resolved against the default registry) —
+    the serializable form checkpoints and manifests reference.
+
     ``use_raster=None`` defers to the harness default; the resolution
     study pins it ``True`` per unit instead of rebuilding the harness.
     """
 
-    model: SimulatedVLM
+    model: "ModelProvider | str"
     dataset: Dataset
     setting: str
     resolution_factor: int = 1
     use_raster: Optional[bool] = None
 
+    def __post_init__(self) -> None:
+        resolved = (create_provider(self.model)
+                    if isinstance(self.model, str)
+                    else as_provider(self.model))
+        object.__setattr__(self, "model", resolved)
+
+    @property
+    def provider(self) -> ModelProvider:
+        """The unit's resolved model provider (``model`` post-coercion)."""
+        return self.model  # type: ignore[return-value]
+
     @property
     def unit_id(self) -> str:
         """Stable identifier; doubles as the checkpoint file stem."""
         return "__".join((
-            _slug(self.model.name),
+            _slug(self.provider.name),
             _slug(self.dataset.name),
             _slug(self.setting),
             f"r{self.resolution_factor}",
@@ -453,7 +474,7 @@ class ParallelRunner:
         with self._depth_lock:
             self._not_started -= 1
             unit_stats.queue_depth = self._not_started
-        model_key = unit.model.name
+        model_key = unit.provider.name
         if self.breaker is not None and not self.breaker.allow(model_key):
             # fast-fail: no boundary crossing, no retry budget spent
             unit_stats.status = "fast_failed"
@@ -551,6 +572,8 @@ class ParallelRunner:
         """
         use_raster = (self.harness.use_raster if unit.use_raster is None
                       else unit.use_raster)
+        provider = unit.provider
+        fingerprint = provider.config_fingerprint()
         questions = list(unit.dataset)
         by_category: Dict[Category, List[Question]] = {}
         for question in questions:
@@ -562,9 +585,10 @@ class ParallelRunner:
         answers = None
         records: List[EvalRecord] = []
         for question in questions:
-            key = question_key(unit.model.name, question, unit.setting,
+            key = question_key(provider.name, question, unit.setting,
                                unit.resolution_factor, use_raster,
-                               cohorts[question.category])
+                               cohorts[question.category],
+                               provider_fingerprint=fingerprint)
             cached = self.cache.get(key)
             if cached is not None:
                 unit_stats.cache_hits += 1
@@ -577,9 +601,13 @@ class ParallelRunner:
                 # grinding through the remainder of the list
                 deadline.check(unit.unit_id, question.qid)
             if answers is None:
+                # the whole-unit model call; provider-level transport
+                # faults (a RemoteStubProvider 429, a rejected request)
+                # raise here and flow through the same retry/failure
+                # machinery as boundary faults
                 answers = {
                     answer.qid: answer
-                    for answer in unit.model.answer_all(
+                    for answer in provider.answer_batch(
                         questions, unit.setting, unit.resolution_factor,
                         use_raster=use_raster)
                 }
@@ -648,7 +676,7 @@ class ParallelRunner:
             # truncated, torn or checksum-mismatched: re-evaluate
             unit_stats.corrupt_checkpoints += 1
             return None
-        if (result.model_name != unit.model.name
+        if (result.model_name != unit.provider.name
                 or result.dataset_name != unit.dataset.name
                 or result.setting != unit.setting
                 or result.resolution_factor != unit.resolution_factor
@@ -666,7 +694,10 @@ class ParallelRunner:
                 "format_version": MANIFEST_FORMAT_VERSION,
                 "units": [
                     dict(stats.unit(unit.unit_id).as_dict(),
-                         path=f"{unit.unit_id}.jsonl")
+                         path=f"{unit.unit_id}.jsonl",
+                         provider=unit.provider.name,
+                         provider_fingerprint=(
+                             unit.provider.config_fingerprint()))
                     for unit in units
                 ],
                 "totals": stats.as_dict(),

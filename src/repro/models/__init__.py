@@ -6,6 +6,18 @@ from repro.models.encoder import VisualEncoder, rate_scaling
 from repro.models.irt import OutcomePlan, aptitude, plan_outcomes, quota
 from repro.models.llm import LlmBackbone
 from repro.models.projector import Projector
+from repro.models.providers import (
+    BatchingProvider,
+    LocalProvider,
+    ModelProvider,
+    ProviderRegistry,
+    RemoteStubProvider,
+    as_provider,
+    create_provider,
+    default_registry,
+    provider_names,
+    register_provider,
+)
 from repro.models.vlm import (
     NO_CHOICE,
     WITH_CHOICE,
@@ -17,6 +29,7 @@ from repro.models.zoo import (
     LLAVA_BACKBONE_STUDY,
     TABLE2_ROW_ORDER,
     build_model,
+    build_vlm,
     build_zoo,
     model_names,
     paper_rates,
@@ -24,6 +37,16 @@ from repro.models.zoo import (
 
 __all__ = [
     "VisualEncoder",
+    "ModelProvider",
+    "LocalProvider",
+    "RemoteStubProvider",
+    "BatchingProvider",
+    "ProviderRegistry",
+    "as_provider",
+    "create_provider",
+    "default_registry",
+    "provider_names",
+    "register_provider",
     "finetune",
     "Projector",
     "LlmBackbone",
@@ -38,6 +61,7 @@ __all__ = [
     "quota",
     "rate_scaling",
     "build_model",
+    "build_vlm",
     "build_zoo",
     "model_names",
     "paper_rates",

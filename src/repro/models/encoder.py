@@ -11,9 +11,8 @@ Section IV-B resolution study measures a real image-processing pipeline.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.core.perfstats import LruCache
 from repro.core.question import Question, VisualContent

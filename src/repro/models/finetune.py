@@ -19,7 +19,7 @@ reproductions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.core.question import Category

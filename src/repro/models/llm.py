@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.question import AnswerKind, Question
 from repro.judge.normalize import numbers_in

@@ -1,0 +1,556 @@
+"""Model providers: the serving seam between the evaluation stack and models.
+
+The paper evaluated twelve VLMs across three heterogeneous serving paths
+(local Ollama containers, NVIDIA NIM endpoints, Azure OpenAI), and every
+production benchmark pipeline ends up treating the model endpoint as a
+swappable, latency-bearing *service* rather than an in-process object.
+This module is that seam: a :class:`ModelProvider` protocol every layer
+of the stack (harness, runner, agent vision tool, CLI) speaks, a
+registry resolving providers by name (so work units, checkpoints and
+manifests stay serializable), and three implementations:
+
+* :class:`LocalProvider` — wraps the in-process simulated zoo with
+  byte-identical behaviour; the default for every reproduction path;
+* :class:`RemoteStubProvider` — models an HTTP endpoint: configurable
+  per-call latency, deterministic jitter and transient/permanent
+  failure injection, so the resilience layer (retry, breakers,
+  deadlines, quarantine) exercises realistic fault profiles;
+* :class:`BatchingProvider` — a decorator coalescing per-question calls
+  into batches under a max-batch-size / max-wait policy, amortising
+  per-call overhead (see ``benchmarks/bench_batched_inference.py``).
+
+Provider identity is content-addressed: :meth:`config_fingerprint`
+digests everything answer behaviour depends on, and the run cache folds
+it into its keys so two differently-configured providers can never
+alias each other's entries.  See ``docs/PROVIDERS.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from typing import (
+    Callable, Dict, List, Protocol, Sequence, runtime_checkable,
+)
+
+from repro.core.faults import PermanentError, TransientModelError
+from repro.core.question import Question
+from repro.models.vlm import ModelAnswer, SimulatedVLM
+
+
+def _fingerprint(payload: object) -> str:
+    """Canonical sha256 digest of a JSON-serialisable config payload."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                   default=str).encode("utf-8")).hexdigest()
+
+
+@runtime_checkable
+class ModelProvider(Protocol):
+    """What the evaluation stack requires of a model serving path.
+
+    A provider answers a batch of questions under one evaluation setting
+    and identifies itself two ways: ``name`` (display/checkpoint
+    identity — what artifacts are keyed by) and
+    :meth:`config_fingerprint` (cache identity — a digest of everything
+    answer behaviour depends on, so two providers sharing a display
+    name but differing in configuration never alias cache entries).
+
+    ``answer_batch`` must return exactly one :class:`ModelAnswer` per
+    question, in question order, and must be deterministic for a fixed
+    configuration (retries and re-runs replay byte-identically).
+    Transport-level faults are reported by raising
+    :class:`~repro.core.faults.TransientModelError` (retryable) or
+    :class:`~repro.core.faults.PermanentError` (not).
+    """
+
+    name: str
+
+    def config_fingerprint(self) -> str:
+        """Digest of everything answer behaviour depends on."""
+        ...  # pragma: no cover - protocol stub
+
+    def answer_batch(self, questions: Sequence[Question], setting: str,
+                     resolution_factor: int = 1,
+                     use_raster: bool = True) -> List[ModelAnswer]:
+        """Answer every question; one answer per question, in order."""
+        ...  # pragma: no cover - protocol stub
+
+
+def _model_config_payload(model: object) -> Dict[str, object]:
+    """A JSON-serialisable description of a wrapped model's behaviour.
+
+    A model may define its own ``config_payload()`` (the chip-designer
+    agent does, covering its designer backbone and vision-tool backend);
+    for :class:`SimulatedVLM` the payload covers the full architecture
+    and calibration (two zoo builds of the same name fingerprint
+    identically; a fine-tuned variant does not).  Anything else falls
+    back to class plus name, which is exact for singletons with fixed
+    configuration.
+    """
+    payload_hook = getattr(model, "config_payload", None)
+    if callable(payload_hook):
+        return payload_hook()
+    if isinstance(model, SimulatedVLM):
+        return {
+            "kind": "simulated-vlm",
+            "name": model.name,
+            "encoder": list(model.encoder.config_key()),
+            "projector": [model.projector.name, model.projector.tokens_out,
+                          model.projector.alignment],
+            "backbone": [model.backbone.name, model.backbone.params_billion,
+                         model.backbone.text_ability],
+            "calibration": {
+                setting: {cat.value: rate for cat, rate in sorted(
+                    table.items(), key=lambda item: item[0].value)}
+                for setting, table in (
+                    ("with_choice", model.calibration.with_choice),
+                    ("no_choice", model.calibration.no_choice))
+            },
+            "supports_system_prompt": model.supports_system_prompt,
+            "temperature": model.temperature,
+        }
+    return {
+        "kind": type(model).__name__,
+        "name": getattr(model, "name", repr(model)),
+    }
+
+
+class LocalProvider:
+    """In-process serving of any ``answer_all``-compatible model.
+
+    Wraps the simulated zoo (or the chip-designer agent) with
+    byte-identical behaviour: ``answer_batch`` is a direct delegation to
+    the model's ``answer_all``, so artifacts produced through a
+    ``LocalProvider`` match the pre-provider evaluation path exactly
+    (pinned in ``tests/test_provider_contract.py``).
+
+    The wrapper is a transparent proxy: attributes not defined here
+    (``plan``, ``answer_all``, ``encoder``, ``calibration``, …) resolve
+    against the wrapped model, so analysis code written against
+    :class:`SimulatedVLM` keeps working on zoo entries.
+    """
+
+    def __init__(self, model: object):
+        if not callable(getattr(model, "answer_all", None)):
+            raise TypeError(
+                f"LocalProvider needs an answer_all-compatible model, "
+                f"got {type(model).__name__}")
+        self.model = model
+
+    @property
+    def name(self) -> str:
+        return self.model.name  # type: ignore[attr-defined]
+
+    def config_fingerprint(self) -> str:
+        return _fingerprint({
+            "provider": "local",
+            "model": _model_config_payload(self.model),
+        })
+
+    def answer_batch(self, questions: Sequence[Question], setting: str,
+                     resolution_factor: int = 1,
+                     use_raster: bool = True) -> List[ModelAnswer]:
+        return self.model.answer_all(  # type: ignore[attr-defined]
+            questions, setting, resolution_factor, use_raster=use_raster)
+
+    def __getattr__(self, attribute: str):
+        # transparent proxy: anything not defined on the provider is
+        # served by the wrapped model (guarded against recursion while
+        # unpickling, when ``model`` itself is not yet set)
+        if attribute == "model":
+            raise AttributeError(attribute)
+        return getattr(self.model, attribute)
+
+    def __setattr__(self, attribute: str, value: object) -> None:
+        # writes go to the wrapped model as well (instrumentation like
+        # swapping in a counting encoder must reach the real object);
+        # only ``model`` itself lives on the provider
+        if attribute == "model" or "model" not in self.__dict__:
+            object.__setattr__(self, attribute, value)
+        else:
+            setattr(self.model, attribute, value)
+
+    def __repr__(self) -> str:
+        return f"LocalProvider({self.model!r})"
+
+
+def as_provider(model: object) -> ModelProvider:
+    """Coerce a model-or-provider into a :class:`ModelProvider`.
+
+    Providers pass through untouched; anything exposing ``answer_all``
+    (a raw :class:`SimulatedVLM`, a fine-tuned variant, the agent) is
+    wrapped in a :class:`LocalProvider`.  This is the compatibility
+    shim that lets every refactored consumer keep accepting the
+    pre-provider model objects.
+    """
+    if callable(getattr(model, "answer_batch", None)) and callable(
+            getattr(model, "config_fingerprint", None)):
+        return model  # type: ignore[return-value]
+    return LocalProvider(model)
+
+
+class RemoteStubProvider:
+    """A simulated HTTP model endpoint wrapping an inner provider.
+
+    Models the serving path the paper actually ran (Ollama / NIM /
+    Azure endpoints) without a network: every ``answer_batch`` call
+    pays a base latency plus deterministic jitter, and a configurable
+    fraction of calls fails — transiently (rate limits, resets; the
+    runner's retry/backoff path absorbs these, and each flaky call key
+    recovers after ``transient_failures`` attempts) or permanently
+    (content filters, revoked credentials; these never succeed and are
+    what circuit breakers and quarantine exist for).
+
+    All behaviour is a pure function of ``seed`` and the call key
+    (setting, resolution, question ids), so runs replay
+    deterministically regardless of thread scheduling — the property
+    the chaos/convergence tests rely on.  ``sleep`` is injectable so
+    tests and benchmarks measure policy, not wall-clock.
+    """
+
+    def __init__(
+        self,
+        inner: ModelProvider,
+        base_latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+        transient_rate: float = 0.0,
+        permanent_rate: float = 0.0,
+        transient_failures: int = 1,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if base_latency_s < 0 or jitter_s < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        for label, rate in (("transient_rate", transient_rate),
+                            ("permanent_rate", permanent_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1]")
+        if transient_failures < 1:
+            raise ValueError("transient_failures must be >= 1")
+        self.inner = as_provider(inner)
+        self.base_latency_s = base_latency_s
+        self.jitter_s = jitter_s
+        self.transient_rate = transient_rate
+        self.permanent_rate = permanent_rate
+        self.transient_failures = transient_failures
+        self.seed = seed
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._crossings: Dict[str, int] = {}
+        #: telemetry: completed calls, injected faults, simulated latency
+        self.calls = 0
+        self.faults_injected = 0
+        self.simulated_latency_s = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def config_fingerprint(self) -> str:
+        return _fingerprint({
+            "provider": "remote-stub",
+            "inner": self.inner.config_fingerprint(),
+            "base_latency_s": self.base_latency_s,
+            "jitter_s": self.jitter_s,
+            "transient_rate": self.transient_rate,
+            "permanent_rate": self.permanent_rate,
+            "transient_failures": self.transient_failures,
+            "seed": self.seed,
+        })
+
+    def _call_key(self, questions: Sequence[Question], setting: str,
+                  resolution_factor: int) -> str:
+        qids = ",".join(q.qid for q in questions)
+        return f"{setting}|r{resolution_factor}|{qids}"
+
+    def _unit_draw(self, key: str, salt: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}|{salt}|{key}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") / 2 ** 32
+
+    def _simulate_transport(self, key: str) -> None:
+        latency = self.base_latency_s
+        if self.jitter_s:
+            latency += self.jitter_s * self._unit_draw(key, "jitter")
+        if latency:
+            with self._lock:
+                self.simulated_latency_s += latency
+            self._sleep(latency)
+        if self._unit_draw(key, "permanent") < self.permanent_rate:
+            with self._lock:
+                self.faults_injected += 1
+            raise PermanentError(
+                f"{self.name}: endpoint rejected request {key[:40]!r}")
+        if self._unit_draw(key, "transient") < self.transient_rate:
+            with self._lock:
+                crossing = self._crossings.get(key, 0)
+                self._crossings[key] = crossing + 1
+            if crossing < self.transient_failures:
+                with self._lock:
+                    self.faults_injected += 1
+                raise TransientModelError(
+                    f"{self.name}: simulated 429 "
+                    f"({crossing + 1}/{self.transient_failures}) "
+                    f"for {key[:40]!r}")
+
+    def answer_batch(self, questions: Sequence[Question], setting: str,
+                     resolution_factor: int = 1,
+                     use_raster: bool = True) -> List[ModelAnswer]:
+        key = self._call_key(questions, setting, resolution_factor)
+        self._simulate_transport(key)
+        answers = self.inner.answer_batch(questions, setting,
+                                          resolution_factor,
+                                          use_raster=use_raster)
+        with self._lock:
+            self.calls += 1
+        return answers
+
+    def __repr__(self) -> str:
+        return (f"RemoteStubProvider({self.inner!r}, "
+                f"latency={self.base_latency_s}, "
+                f"transient_rate={self.transient_rate})")
+
+
+class BatchingProvider:
+    """Coalesce per-question calls into batches on an inner provider.
+
+    Remote endpoints charge a per-call overhead (connection setup,
+    queueing, scheduling) that per-question submission pays N times; a
+    coalesced request pays it once per batch.  This decorator
+    implements the standard dynamic-batching policy:
+
+    * :meth:`submit` is the coalescing path: concurrent callers (agent
+      sessions, interactive tools, per-question services) hand in
+      single questions, which block until either ``max_batch_size``
+      submissions have accumulated or ``max_wait_s`` has elapsed since
+      the batch opened — then *one* inner call serves the whole batch
+      and every submitter is woken with its own answer;
+    * ``answer_batch`` — an already-batched request — passes through
+      as a single inner call untouched.  Batching never *splits* a
+      batch: for quota-calibrated simulated models outcome planning is
+      cohort-dependent, so forwarding a work unit's full question list
+      in one call is what keeps Table II artifacts byte-identical.
+
+    Coalescing changes transport granularity only; the inner
+    provider's answer semantics apply per dispatched batch.  See
+    ``docs/PROVIDERS.md`` and ``benchmarks/bench_batched_inference.py``
+    for the throughput model.
+    """
+
+    def __init__(self, inner: ModelProvider, max_batch_size: int = 16,
+                 max_wait_s: float = 0.01,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.inner = as_provider(inner)
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._queue: List[Dict[str, object]] = []
+        self._batch_opened = 0.0
+        self._draining = False
+        #: telemetry: inner calls issued and questions they carried
+        self.batches = 0
+        self.batched_questions = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def config_fingerprint(self) -> str:
+        # max_wait_s is pure scheduling and excluded; the coalescing
+        # bound participates because it shapes what a dispatched batch
+        # can contain on the submit() path
+        return _fingerprint({
+            "provider": "batching",
+            "inner": self.inner.config_fingerprint(),
+            "max_batch_size": self.max_batch_size,
+        })
+
+    def _dispatch(self, questions: Sequence[Question], setting: str,
+                  resolution_factor: int,
+                  use_raster: bool) -> List[ModelAnswer]:
+        answers = self.inner.answer_batch(questions, setting,
+                                          resolution_factor,
+                                          use_raster=use_raster)
+        with self._lock:
+            self.batches += 1
+            self.batched_questions += len(questions)
+        return answers
+
+    def answer_batch(self, questions: Sequence[Question], setting: str,
+                     resolution_factor: int = 1,
+                     use_raster: bool = True) -> List[ModelAnswer]:
+        return self._dispatch(list(questions), setting, resolution_factor,
+                              use_raster)
+
+    # -- concurrent per-question coalescing --------------------------------
+
+    def submit(self, question: Question, setting: str,
+               resolution_factor: int = 1,
+               use_raster: bool = True) -> ModelAnswer:
+        """Submit one question; blocks until its batch is served.
+
+        Submissions sharing (setting, resolution, raster mode) coalesce;
+        a mismatched submission flushes the open batch first so a batch
+        is always homogeneous.  The submitter that fills the batch — or
+        the earliest waiter once ``max_wait_s`` has elapsed — drains it
+        with a single inner call and wakes the rest.
+        """
+        context = (setting, resolution_factor, use_raster)
+        entry: Dict[str, object] = {"question": question,
+                                    "context": context,
+                                    "answer": None, "error": None,
+                                    "done": False}
+        with self._condition:
+            while self._queue and self._queue[0]["context"] != context:
+                self._drain_locked()
+            if not self._queue:
+                self._batch_opened = self._clock()
+            self._queue.append(entry)
+            if len(self._queue) >= self.max_batch_size:
+                self._drain_locked()
+            while not entry["done"]:
+                if self._draining:
+                    self._condition.wait(timeout=0.001)
+                    continue
+                elapsed = self._clock() - self._batch_opened
+                if elapsed >= self.max_wait_s:
+                    self._drain_locked()
+                else:
+                    self._condition.wait(timeout=self.max_wait_s - elapsed)
+        if entry["error"] is not None:
+            raise entry["error"]  # type: ignore[misc]
+        return entry["answer"]  # type: ignore[return-value]
+
+    def flush(self) -> None:
+        """Serve any open batch immediately (end-of-stream)."""
+        with self._condition:
+            while self._queue:
+                self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        """Serve up to ``max_batch_size`` queued entries; caller holds
+        the lock.  The bound is strict: a queue grown past it while a
+        prior dispatch was in flight drains in capped slices, and any
+        leftover re-opens the batch clock."""
+        batch = self._queue[: self.max_batch_size]
+        self._queue = self._queue[self.max_batch_size:]
+        if not batch:
+            return
+        if self._queue:
+            self._batch_opened = self._clock()
+        self._draining = True
+        setting, resolution_factor, use_raster = batch[0]["context"]
+        questions = [entry["question"] for entry in batch]
+        self._lock.release()
+        try:
+            try:
+                answers = self._dispatch(questions, setting,
+                                         resolution_factor, use_raster)
+                for entry, answer in zip(batch, answers):
+                    entry["answer"] = answer
+            except Exception as exc:  # propagate to every waiter
+                for entry in batch:
+                    entry["error"] = exc
+        finally:
+            self._lock.acquire()
+            self._draining = False
+            for entry in batch:
+                entry["done"] = True
+            self._condition.notify_all()
+
+    def __repr__(self) -> str:
+        return (f"BatchingProvider({self.inner!r}, "
+                f"max_batch_size={self.max_batch_size})")
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class ProviderRegistry:
+    """Name -> provider-factory mapping; the serializable identity layer.
+
+    Work units, checkpoints and manifests reference providers by
+    registry name; resolving the name on any process reproduces the
+    provider, which is what keeps run artifacts portable across
+    launches.  Factories are invoked per :meth:`create` call (providers
+    may carry per-run state such as failure-injection counters).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._factories: Dict[str, Callable[[], ModelProvider]] = {}
+
+    def register(self, name: str, factory: Callable[[], ModelProvider],
+                 replace: bool = False) -> None:
+        with self._lock:
+            if not replace and name in self._factories:
+                raise ValueError(f"provider {name!r} already registered")
+            self._factories[name] = factory
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._factories.pop(name, None)
+
+    def create(self, name: str) -> ModelProvider:
+        with self._lock:
+            factory = self._factories.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown provider {name!r}; known: {self.names()}")
+        provider = as_provider(factory())
+        if provider.name != name:
+            raise ValueError(
+                f"provider factory for {name!r} produced a provider "
+                f"named {provider.name!r}")
+        return provider
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._factories
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._factories)
+
+
+#: The process-wide registry; the zoo registers its twelve models (and
+#: the chip-designer agent) here at import time, and the CLI/runner
+#: resolve ``model="<name>"`` work units against it.
+default_registry = ProviderRegistry()
+
+
+def register_provider(name: str, factory: Callable[[], ModelProvider],
+                      replace: bool = False) -> None:
+    """Register a provider factory in the default registry."""
+    default_registry.register(name, factory, replace=replace)
+
+
+def provider_names() -> List[str]:
+    """All names registered in the default registry (sorted)."""
+    _ensure_zoo_registered()
+    return default_registry.names()
+
+
+def create_provider(name: str) -> ModelProvider:
+    """Resolve a provider by name from the default registry."""
+    _ensure_zoo_registered()
+    return default_registry.create(name)
+
+
+def _ensure_zoo_registered() -> None:
+    # the zoo registers itself at import; importing it here makes the
+    # registry usable without requiring callers to know that detail
+    import repro.models.zoo  # noqa: F401

@@ -9,7 +9,7 @@ exercised for real.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.question import Category, Question, QuestionType

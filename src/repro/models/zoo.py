@@ -16,6 +16,8 @@ from repro.core.question import Category
 from repro.models.encoder import VisualEncoder
 from repro.models.llm import LlmBackbone
 from repro.models.projector import Projector
+from repro.models.providers import LocalProvider, ModelProvider, \
+    default_registry
 from repro.models.vlm import CalibrationTable, SimulatedVLM
 
 _CATS = (Category.DIGITAL, Category.ANALOG, Category.ARCHITECTURE,
@@ -99,8 +101,8 @@ def model_names() -> List[str]:
     return [name for name, _ in TABLE2_ROW_ORDER]
 
 
-def build_model(name: str) -> SimulatedVLM:
-    """Instantiate one calibrated model by zoo name."""
+def build_vlm(name: str) -> SimulatedVLM:
+    """Instantiate one calibrated raw :class:`SimulatedVLM` by zoo name."""
     try:
         spec = _ZOO_SPECS[name]
     except KeyError:
@@ -122,9 +124,45 @@ def build_model(name: str) -> SimulatedVLM:
                         supports_system_prompt=sysprompt)
 
 
-def build_zoo() -> List[SimulatedVLM]:
-    """All twelve Table II models in display order."""
+def build_model(name: str) -> LocalProvider:
+    """One calibrated zoo model as a registry-backed provider.
+
+    The returned :class:`~repro.models.providers.LocalProvider` serves
+    the simulated VLM byte-identically to the raw object while
+    satisfying the :class:`~repro.models.providers.ModelProvider`
+    protocol every evaluation layer speaks; it proxies attribute access
+    to the wrapped :class:`SimulatedVLM`, so model-level analysis code
+    (``plan``, ``encoder``, ``calibration``, …) keeps working.  Use
+    :func:`build_vlm` when the raw simulated model is needed.
+    """
+    return LocalProvider(build_vlm(name))
+
+
+def build_zoo() -> List[LocalProvider]:
+    """All twelve Table II models (as providers) in display order."""
     return [build_model(name) for name, _ in TABLE2_ROW_ORDER]
+
+
+def _build_agent_provider() -> ModelProvider:
+    from repro.agent.designer import ChipDesignerAgent
+
+    return LocalProvider(ChipDesignerAgent())
+
+
+def _register_zoo() -> None:
+    """Expose the zoo (and the agent system) through the provider
+    registry, so work units and the CLI can reference models by name."""
+    for zoo_name in _ZOO_SPECS:
+        if zoo_name not in default_registry:
+            default_registry.register(
+                zoo_name,
+                lambda n=zoo_name: build_model(n))
+    agent_name = "agent-gpt4turbo+gpt4o"
+    if agent_name not in default_registry:
+        default_registry.register(agent_name, _build_agent_provider)
+
+
+_register_zoo()
 
 
 def paper_rates(name: str, setting: str) -> Dict[Category, float]:

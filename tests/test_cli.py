@@ -122,6 +122,40 @@ class TestCommands:
         assert path.exists()
 
 
+class TestProviderFlags:
+    def test_table2_rejects_unknown_provider(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["table2", "--provider", "quantum"])
+
+    def test_table2_remote_provider_matches_local(self, capsys):
+        """A healthy remote stub changes transport only, not the table."""
+        assert main(["table2", "--models", "kosmos-2"]) == 0
+        local_out = capsys.readouterr().out
+        assert main(["table2", "--models", "kosmos-2",
+                     "--provider", "remote"]) == 0
+        assert capsys.readouterr().out == local_out
+
+    def test_table2_batched_provider_matches_local(self, capsys):
+        assert main(["table2", "--models", "kosmos-2"]) == 0
+        local_out = capsys.readouterr().out
+        assert main(["table2", "--models", "kosmos-2",
+                     "--provider", "batched", "--batch-size", "4"]) == 0
+        assert capsys.readouterr().out == local_out
+
+    def test_table2_flaky_remote_recovers_via_retry(self, tmp_path,
+                                                    capsys):
+        """Injected transient failures are absorbed by the runner's
+        retry path; the sweep still completes with full artifacts."""
+        run_dir = tmp_path / "run"
+        assert main(["table2", "--models", "kosmos-2",
+                     "--provider", "remote", "--failure-rate", "1.0",
+                     "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "kosmos-2" in out
+        assert len(list(run_dir.glob("*.jsonl"))) == 2
+
+
 class TestResilienceFlags:
     def test_table2_accepts_resilience_flags(self, tmp_path, capsys):
         run_dir = tmp_path / "run"

@@ -15,7 +15,12 @@ from repro.core.runcache import (
 )
 from repro.core.runner import ParallelRunner, WorkUnit
 from repro.core.transforms import to_short_answer
-from repro.models import NO_CHOICE, WITH_CHOICE, build_model
+from repro.models import (
+    NO_CHOICE,
+    WITH_CHOICE,
+    RemoteStubProvider,
+    build_model,
+)
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +54,10 @@ class TestKeyCoverage:
 
     def test_cohort_changes_key(self, question):
         assert _key(question) != _key(question, cohort="c1")
+
+    def test_provider_fingerprint_changes_key(self, question):
+        assert _key(question) != _key(
+            question, provider_fingerprint="deadbeef")
 
     def test_question_content_changes_key(self, question):
         """Property-style: mutating any serialised question field —
@@ -168,3 +177,43 @@ class TestHitRateMatchesReuse:
                                         setting=WITH_CHOICE)])
         # different cohort => no reuse: a half-category quota differs
         assert half_run.stats.cache_hits == 0
+
+
+class TestProviderAliasing:
+    """Regression: the cache keys on provider *configuration*, not just
+    the display name (the pre-provider keys used the name alone, so a
+    remote stub wrapping ``gpt-4o`` would silently serve the local
+    model's verdicts)."""
+
+    def test_differently_configured_providers_never_alias(self, chipvqa):
+        digital = chipvqa.by_category(Category.DIGITAL)
+        local = build_model("gpt-4o")
+        remote = RemoteStubProvider(build_model("gpt-4o"), seed=3)
+        # same display name, different serving configuration
+        assert local.name == remote.name
+        assert local.config_fingerprint() != remote.config_fingerprint()
+        cache = RunCache()
+        runner = ParallelRunner(cache=cache)
+        runner.run([WorkUnit(model=local, dataset=digital,
+                             setting=WITH_CHOICE)])
+        second = runner.run([WorkUnit(model=remote, dataset=digital,
+                                      setting=WITH_CHOICE)])
+        assert second.stats.cache_hits == 0
+        assert len(cache) == 2 * len(digital)
+
+    def test_identically_configured_builds_share_entries(self, chipvqa):
+        """Fingerprints are content-addressed: two independent builds of
+        the same zoo entry are the same provider to the cache."""
+        digital = chipvqa.by_category(Category.DIGITAL)
+        first, second = build_model("gpt-4o"), build_model("gpt-4o")
+        assert first is not second
+        assert (first.config_fingerprint()
+                == second.config_fingerprint())
+        cache = RunCache()
+        runner = ParallelRunner(cache=cache)
+        runner.run([WorkUnit(model=first, dataset=digital,
+                             setting=WITH_CHOICE)])
+        replay = runner.run([WorkUnit(model=second, dataset=digital,
+                                      setting=WITH_CHOICE)])
+        assert replay.stats.cache_hits == len(digital)
+        assert replay.stats.cache_misses == 0
