@@ -1,0 +1,107 @@
+"""E16 — Process-backend scaling: the CPU-bound Table II sweep, thread
+pool vs. process pool.
+
+``bench_runner_scaling.py`` measures the API-bound regime, where thread
+workers overlap provider latency and win.  This bench measures the
+opposite regime: a :class:`~repro.core.faults.BusyBoundary` burns CPU
+inside every question (sha256 chains over tiny buffers, which hold the
+GIL), so thread workers serialize behind the interpreter lock while
+process workers spread across cores.  Shape pinned: at 8 workers the
+process backend beats the thread backend by >= 2x on the full 12-model
+x 2-setting sweep, with identical published numbers (run with ``-s`` to
+see the table).
+
+Both tests need real cores; they skip on machines with fewer than four.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.executor import create_backend
+from repro.core.faults import BusyBoundary
+from repro.core.harness import run_table2
+from repro.core.runner import ParallelRunner
+from repro.models import WITH_CHOICE, build_zoo
+
+#: sha256 chain length per question — roughly half a millisecond of
+#: GIL-holding CPU work, standing in for local decode/scoring compute.
+SPINS = 800
+
+FEW_CORES = (os.cpu_count() or 1) < 4
+
+
+def _timed_sweep(models, backend, workers, spins=SPINS):
+    runner = ParallelRunner(
+        workers=workers,
+        backend=create_backend(backend, workers),
+        fault_boundary=BusyBoundary(spins=spins))
+    start = time.perf_counter()
+    results = run_table2(models, runner=runner)
+    return time.perf_counter() - start, results
+
+
+def test_process_backend_parity():
+    """Smoke (any machine): the process backend reproduces the thread
+    backend's numbers exactly on a compute-laden sub-sweep."""
+    models = build_zoo()[:2]
+    _, thread = _timed_sweep(models, "thread", workers=2, spins=50)
+    _, process = _timed_sweep(models, "process", workers=2, spins=50)
+    for name, settings in thread.items():
+        for setting, result in settings.items():
+            assert process[name][setting].pass_at_1() == \
+                result.pass_at_1()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(FEW_CORES, reason="needs >= 4 CPU cores to show "
+                    "process-over-thread scaling")
+def test_process_beats_thread_on_cpu_bound_sweep():
+    """Acceptance: >= 2x throughput over the thread backend at 8
+    workers on the CPU-bound full-zoo sweep, same numbers."""
+    zoo = build_zoo()
+    thread_s, thread = _timed_sweep(zoo, "thread", workers=8)
+    process_s, process = _timed_sweep(zoo, "process", workers=8)
+
+    print(f"\nTable II sweep under {SPINS} sha256 spins/question of "
+          f"GIL-holding CPU work ({os.cpu_count()} cores)")
+    for label, elapsed in (("thread x8", thread_s),
+                           ("process x8", process_s)):
+        print(f"  {label:<11} {elapsed:6.2f} s   "
+              f"throughput {thread_s / elapsed:4.1f}x threads")
+
+    assert thread_s / process_s >= 2.0
+    for name, settings in thread.items():
+        for setting, result in settings.items():
+            assert process[name][setting].pass_at_1() == \
+                result.pass_at_1()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(FEW_CORES, reason="needs >= 4 CPU cores to show "
+                    "process-over-thread scaling")
+def test_process_scaling_is_monotone():
+    """More process workers keep helping through 8 on the CPU-bound
+    sweep (no fork/IPC collapse past the knee)."""
+    models = build_zoo()[:6]
+    timings = {
+        workers: _timed_sweep(models, "process", workers)[0]
+        for workers in (1, 4, 8)
+    }
+    print("\n" + "  ".join(f"w{w}={t:.2f}s" for w, t in timings.items()))
+    assert timings[4] < timings[1]
+    assert timings[8] <= timings[4] * 1.2
+    assert timings[1] / timings[8] >= 2.0
+
+
+def test_warm_fork_inherits_caches():
+    """Forked workers inherit the parent's warm perception caches: a
+    pre-warmed process sweep never redoes perception work, so it costs
+    no more than a freshly-warmed thread sweep (any machine)."""
+    models = build_zoo()[:2]
+    warm_s, _ = _timed_sweep(models, "thread", workers=2, spins=0)
+    fork_s, _ = _timed_sweep(models, "process", workers=2, spins=0)
+    print(f"\nwarm thread {warm_s:.2f} s vs warm fork {fork_s:.2f} s")
+    # generous bound: fork setup + result IPC must stay a small constant
+    assert fork_s < warm_s + 5.0

@@ -16,6 +16,7 @@ Commands mirror the paper's experiments plus the repository's extensions:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -41,15 +42,41 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_cache_stats() -> None:
-    """Dump the perception-substrate cache counters (docs/PERF.md)."""
+def _print_cache_stats(stats=None) -> None:
+    """Dump the perception-substrate cache counters (docs/PERF.md).
+
+    With a :class:`~repro.core.runner.RunStats`, counters come from the
+    run's merged view — which folds in worker-process movement under
+    ``--backend process`` — rather than this process's globals, so the
+    numbers stay truthful for every backend.
+    """
+    counters = (stats.perf_caches if stats is not None
+                and stats.perf_caches else perfstats.snapshot())
     print(f"\n{'cache':<12}{'hits':>8}{'misses':>8}{'evict':>7}"
-          f"{'size':>7}{'hit rate':>10}")
-    for name, entry in perfstats.snapshot().items():
+          f"{'size':>7}{'spill':>7}{'hit rate':>10}")
+    for name, entry in sorted(counters.items()):
         total = entry["hits"] + entry["misses"]
         rate = entry["hits"] / total if total else 0.0
+        spill = entry.get("spill_hits", 0)
         print(f"{name:<12}{entry['hits']:>8}{entry['misses']:>8}"
-              f"{entry['evictions']:>7}{entry['size']:>7}{rate:>10.3f}")
+              f"{entry['evictions']:>7}{entry.get('size', 0):>7}"
+              f"{spill:>7}{rate:>10.3f}")
+
+
+def _effective_workers(requested: int) -> int:
+    """Clamp ``--workers`` to this machine's CPU count, with a warning.
+
+    More workers than cores cannot help any backend — threads are
+    GIL-bound and processes core-bound — but oversubscription does
+    churn context switches, so requests beyond ``os.cpu_count()`` are
+    clamped.  Values below 1 are raised to 1.
+    """
+    cpus = os.cpu_count() or 1
+    if requested > cpus:
+        print(f"warning: --workers {requested} exceeds this machine's "
+              f"{cpus} CPU(s); using {cpus}")
+        return cpus
+    return max(1, requested)
 
 
 def _print_resilience_warnings(stats) -> None:
@@ -110,12 +137,15 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         models = build_zoo()
     models = [_wrap_provider(provider, args) for provider in models]
     runner = ParallelRunner(
-        harness=harness, workers=args.workers, run_dir=args.run_dir,
+        harness=harness, workers=_effective_workers(args.workers),
+        run_dir=args.run_dir,
         resume=not args.no_resume,
         quarantine=QuarantinePolicy() if args.quarantine else None,
         breaker=(CircuitBreaker(args.breaker)
                  if args.breaker is not None else None),
-        deadline_s=args.deadline)
+        deadline_s=args.deadline,
+        backend=args.backend,
+        spill_dir=args.spill_dir)
     results = run_table2(models, harness, runner=runner)
     print(render_table2(results, dict(TABLE2_ROW_ORDER)))
     if args.run_dir:
@@ -124,7 +154,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
               f"`repro verify-run {args.run_dir}`)")
     _print_resilience_warnings(runner.last_stats)
     if args.cache_stats:
-        _print_cache_stats()
+        _print_cache_stats(runner.last_stats)
     return 0
 
 
@@ -165,14 +195,19 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 
 def _cmd_resolution(args: argparse.Namespace) -> int:
+    from repro.core.runner import ParallelRunner
+
     harness = EvaluationHarness()
     category = _category_by_short(args.category)
+    runner = ParallelRunner(harness=harness,
+                            workers=_effective_workers(args.workers),
+                            backend=args.backend)
     study = harness.resolution_study(
         build_model(args.model), category=category,
-        factors=tuple(args.factors), workers=args.workers)
+        factors=tuple(args.factors), runner=runner)
     print(render_resolution_study(study, category))
     if args.cache_stats:
-        _print_cache_stats()
+        _print_cache_stats(runner.last_stats)
     return 0
 
 
@@ -314,7 +349,18 @@ def build_parser() -> argparse.ArgumentParser:
                          "call (remote/batched providers); absorbed by "
                          "the runner's retry path")
     p2.add_argument("--workers", type=int, default=1,
-                    help="parallel evaluation workers (1 = serial)")
+                    help="parallel evaluation workers (1 = serial; "
+                         "clamped to this machine's CPU count)")
+    p2.add_argument("--backend", choices=["serial", "thread", "process"],
+                    default=None,
+                    help="execution backend: serial, thread pool, or "
+                         "process pool for true multicore scaling "
+                         "(default: serial at --workers 1, thread "
+                         "otherwise; see docs/RUNNER.md)")
+    p2.add_argument("--spill-dir", default=None, metavar="DIR",
+                    help="content-addressed on-disk cache tier shared "
+                         "by worker processes (and across runs); see "
+                         "docs/PERF.md")
     p2.add_argument("--run-dir", default=None,
                     help="checkpoint directory; an interrupted sweep "
                          "resumes from it (see docs/RUNNER.md)")
@@ -344,7 +390,11 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--category", default="Digital")
     pr.add_argument("--factors", nargs="*", type=int, default=[1, 8, 16])
     pr.add_argument("--workers", type=int, default=1,
-                    help="evaluate resolution factors in parallel")
+                    help="evaluate resolution factors in parallel "
+                         "(clamped to this machine's CPU count)")
+    pr.add_argument("--backend", choices=["serial", "thread", "process"],
+                    default=None,
+                    help="execution backend (see table2 --backend)")
     pr.add_argument("--cache-stats", action="store_true",
                     help="print perception-substrate cache counters "
                          "after the study")

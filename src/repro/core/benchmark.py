@@ -97,6 +97,7 @@ def build_chipvqa(validate: bool = True) -> Dataset:
     dataset = _DATASET_CACHE.get("chipvqa")
     if dataset is None:
         dataset = Dataset(_all_questions(), name="chipvqa")
+        dataset.build_spec = ("chipvqa",)
         if validate:
             validate_chipvqa(dataset)
         _DATASET_CACHE.put("chipvqa", dataset)
@@ -117,5 +118,6 @@ def build_chipvqa_challenge() -> Dataset:
     if dataset is None:
         standard = build_chipvqa()
         dataset = standard.map(to_short_answer, name="chipvqa-challenge")
+        dataset.build_spec = ("chipvqa-challenge",)
         _DATASET_CACHE.put("chipvqa-challenge", dataset)
     return dataset

@@ -12,7 +12,16 @@ import math
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.question import (
     Category,
@@ -68,6 +77,12 @@ class Dataset:
     def __init__(self, questions: Iterable[Question], name: str = "chipvqa"):
         self._questions: List[Question] = list(questions)
         self.name = name
+        #: Picklable recipe for rebuilding this dataset in another process
+        #: (``None`` for ad-hoc datasets): a root builder name followed by
+        #: ``("by_category", value)`` / ``("by_type", value)`` operations.
+        #: Set by the benchmark builders and propagated by the derivation
+        #: methods below; resolved by ``repro.core.executor``.
+        self.build_spec: Optional[Tuple[str, ...]] = None
         seen = set()
         for question in self._questions:
             if question.qid in seen:
@@ -109,16 +124,24 @@ class Dataset:
         )
 
     def by_category(self, category: Category) -> "Dataset":
-        return self.filter(
+        subset = self.filter(
             lambda q: q.category is category,
             name=f"{self.name}/{category.short.lower()}",
         )
+        if self.build_spec is not None:
+            subset.build_spec = self.build_spec + (
+                "by_category", category.value)
+        return subset
 
     def by_type(self, question_type: QuestionType) -> "Dataset":
-        return self.filter(
+        subset = self.filter(
             lambda q: q.question_type is question_type,
             name=f"{self.name}/{question_type.value}",
         )
+        if self.build_spec is not None:
+            subset.build_spec = self.build_spec + (
+                "by_type", question_type.value)
+        return subset
 
     def split_by_category(self) -> Dict[Category, "Dataset"]:
         return {c: self.by_category(c) for c in Category}

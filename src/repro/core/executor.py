@@ -1,0 +1,587 @@
+"""Pluggable execution backends: serial, thread and process fan-out.
+
+The evaluation stack is CPU-bound pure Python/numpy — rendering,
+legibility, perception, quota-IRT planning — so a thread pool is capped
+by the GIL no matter how many workers it has.  This module gives
+:class:`~repro.core.runner.ParallelRunner` a pluggable execution layer:
+
+* :class:`SerialBackend` — in-process, in-order (the ``workers=1`` path);
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` sharing one address
+  space (the historical ``workers=N`` path; right for latency-bound
+  remote providers);
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor`` fanning units out
+  across cores for true multicore scaling on CPU-bound sweeps.
+
+Processes cannot share live objects, so the process backend ships each
+unit as a picklable :class:`UnitSpec` — a provider *registry name* (or,
+failing that, a pickled provider), a dataset *build spec* (see
+:attr:`repro.core.dataset.Dataset.build_spec`), the setting and the
+resolution factor.  The worker rebuilds the unit, evaluates it through
+the runner's own retry/quarantine machinery, and returns the serialized
+checkpoint payload — the parent writes it verbatim, so process-backend
+artifacts are byte-identical to the serial and thread paths (pinned by
+``tests/test_executor.py``).
+
+Worker failure is part of the contract: a dead worker process
+(``BrokenProcessPool``) rebuilds the pool and re-runs the interrupted
+units one at a time so the culprit is identified without collateral
+damage; a unit whose solo worker keeps dying is recorded ``failed``.  A
+wedged worker — one that blows past the parent-side hard deadline — is
+killed and its unit recorded ``timed_out``.  See ``docs/RUNNER.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TYPE_CHECKING,
+    Tuple,
+    Union,
+)
+
+from repro.core import perfstats, results_io
+from repro.core.faults import FaultBoundary, ModelCallError
+from repro.core.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    QuarantinePolicy,
+)
+from repro.models.providers import create_provider, provider_names
+
+if TYPE_CHECKING:  # runtime imports are deferred: runner imports us
+    from repro.core.runner import RetryPolicy, WorkUnit
+
+#: Names accepted by :func:`create_backend` (and ``--backend``).
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+class ExecutorConfigError(ValueError):
+    """A unit or option set cannot be shipped to the chosen backend."""
+
+
+# -- picklable unit specs ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """A picklable recipe for rebuilding one :class:`WorkUnit`.
+
+    The provider travels as a registry name whenever the default
+    registry rebuilds an identically-fingerprinted provider; otherwise
+    as a pickle (wrapped providers such as a remote stub with a
+    non-default failure rate are not registry-reconstructible).  The
+    dataset travels as its build spec.  Both forms are resolved in the
+    worker process by :meth:`build_unit`.
+    """
+
+    provider_name: Optional[str]
+    dataset_spec: Tuple[str, ...]
+    setting: str
+    resolution_factor: int = 1
+    use_raster: Optional[bool] = None
+    provider_pickle: Optional[bytes] = None
+
+    def build_unit(self) -> "WorkUnit":
+        """Materialise the work unit in the current process."""
+        from repro.core.runner import WorkUnit
+
+        if self.provider_pickle is not None:
+            provider: Any = pickle.loads(self.provider_pickle)
+        elif self.provider_name is not None:
+            provider = create_provider(self.provider_name)
+        else:  # pragma: no cover - spec_for never builds this
+            raise ExecutorConfigError("unit spec carries no provider")
+        return WorkUnit(
+            model=provider,
+            dataset=dataset_from_spec(self.dataset_spec),
+            setting=self.setting,
+            resolution_factor=self.resolution_factor,
+            use_raster=self.use_raster,
+        )
+
+
+def spec_for(unit: "WorkUnit") -> UnitSpec:
+    """Derive the picklable :class:`UnitSpec` for a live work unit.
+
+    Raises :class:`ExecutorConfigError` when the unit cannot cross a
+    process boundary: its dataset has no build spec, or its provider is
+    neither registry-resolvable (same name *and* configuration
+    fingerprint) nor picklable.
+    """
+    dataset_spec = getattr(unit.dataset, "build_spec", None)
+    if dataset_spec is None:
+        raise ExecutorConfigError(
+            f"unit {unit.unit_id!r}: dataset {unit.dataset.name!r} has no "
+            f"build_spec; register a builder via "
+            f"register_dataset_builder() or use the thread backend")
+    provider = unit.provider
+    provider_name: Optional[str] = None
+    provider_pickle: Optional[bytes] = None
+    if provider.name in provider_names():
+        rebuilt = create_provider(provider.name)
+        if rebuilt.config_fingerprint() == provider.config_fingerprint():
+            provider_name = provider.name
+    if provider_name is None:
+        try:
+            provider_pickle = pickle.dumps(provider)
+        except Exception as exc:
+            raise ExecutorConfigError(
+                f"unit {unit.unit_id!r}: provider {provider.name!r} is "
+                f"neither registry-resolvable nor picklable ({exc}); "
+                f"register a provider factory or use the thread backend"
+            ) from exc
+    return UnitSpec(
+        provider_name=provider_name,
+        dataset_spec=tuple(dataset_spec),
+        setting=unit.setting,
+        resolution_factor=unit.resolution_factor,
+        use_raster=unit.use_raster,
+        provider_pickle=provider_pickle,
+    )
+
+
+#: Extra dataset-spec roots registered at runtime (tests, extensions).
+#: With the default ``fork`` start method, worker processes inherit
+#: parent registrations automatically.
+_DATASET_BUILDERS: Dict[str, Callable[[], Any]] = {}
+
+
+def register_dataset_builder(name: str,
+                             factory: Callable[[], Any]) -> None:
+    """Register ``factory`` as the builder for dataset-spec root ``name``."""
+    _DATASET_BUILDERS[name] = factory
+
+
+def dataset_from_spec(spec: Sequence[str]) -> Any:
+    """Rebuild a dataset from its build spec (root builder + ops)."""
+    if not spec:
+        raise ExecutorConfigError("empty dataset spec")
+    root, ops = spec[0], list(spec[1:])
+    factory = _DATASET_BUILDERS.get(root)
+    if factory is None:
+        from repro.core.benchmark import (
+            build_chipvqa,
+            build_chipvqa_challenge,
+        )
+
+        builtin: Dict[str, Callable[[], Any]] = {
+            "chipvqa": build_chipvqa,
+            "chipvqa-challenge": build_chipvqa_challenge,
+        }
+        factory = builtin.get(root)
+    if factory is None:
+        raise ExecutorConfigError(f"unknown dataset builder {root!r}")
+    dataset = factory()
+    from repro.core.question import Category, QuestionType
+
+    while ops:
+        if len(ops) < 2:
+            raise ExecutorConfigError(f"malformed dataset spec {tuple(spec)!r}")
+        op, value = ops[0], ops[1]
+        ops = ops[2:]
+        if op == "by_category":
+            dataset = dataset.by_category(Category(value))
+        elif op == "by_type":
+            dataset = dataset.by_type(QuestionType(value))
+        else:
+            raise ExecutorConfigError(f"unknown dataset op {op!r}")
+    return dataset
+
+
+# -- worker-side execution ---------------------------------------------------
+
+
+@dataclass
+class WorkerOptions:
+    """Everything a worker process needs besides the unit spec.
+
+    Must pickle cleanly — :func:`ensure_picklable` enforces this in the
+    parent before any fork/submit, so misconfiguration fails fast with
+    a clear error instead of a cryptic one from the pool machinery.
+    """
+
+    harness: Any = None
+    retry: "Optional[RetryPolicy]" = None
+    fault_boundary: Optional[FaultBoundary] = None
+    quarantine: Optional[QuarantinePolicy] = None
+    deadline_s: Optional[float] = None
+    spill_root: Optional[str] = None
+
+
+@dataclass
+class WorkerResult:
+    """What one worker evaluation produced, in picklable form.
+
+    ``payload`` is the canonical serialized checkpoint
+    (``results_io.dumps(result, telemetry=False)``), written verbatim by
+    the parent — the property that keeps process-backend artifacts
+    byte-identical to the thread path.  ``perf_delta`` is the worker's
+    perception-substrate counter movement, folded back into
+    :attr:`~repro.core.runner.RunStats.perf_caches` by the parent.
+    """
+
+    unit_id: str
+    status: str  # completed | failed | timed_out
+    payload: Optional[str] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    quarantined: int = 0
+    wall_time_s: float = 0.0
+    worker_respawns: int = 0  # filled in by the parent
+    perf_delta: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+def process_worker(spec: UnitSpec, options: WorkerOptions) -> WorkerResult:
+    """Evaluate one unit spec in a worker process.
+
+    Top-level (not a closure) so it is picklable by every start method.
+    Rebuilds the unit, runs it through the runner's own
+    retry/cache/quarantine path — the single code path that guarantees
+    byte-identity with in-process execution — and reports the canonical
+    checkpoint payload plus telemetry.  Model faults and cooperative
+    deadline overruns are converted to statuses here; anything else
+    propagates to the parent like an in-process exception would.
+    """
+    from repro.core.runner import ParallelRunner, UnitStats
+
+    if options.spill_root is not None:
+        perfstats.enable_spill(options.spill_root)
+    perf_before = perfstats.snapshot()
+    start = time.perf_counter()
+    unit = spec.build_unit()
+    unit_stats = UnitStats(unit_id=unit.unit_id)
+    runner = ParallelRunner(
+        harness=options.harness,
+        workers=1,
+        retry=options.retry,
+        fault_boundary=options.fault_boundary,
+        quarantine=options.quarantine,
+    )
+    deadline = (Deadline(options.deadline_s)
+                if options.deadline_s is not None else None)
+    payload: Optional[str] = None
+    error: Optional[str] = None
+    status = "completed"
+    try:
+        result = runner.evaluate_unit(unit, unit_stats, deadline)
+        payload = results_io.dumps(result, telemetry=False) + "\n"
+    except DeadlineExceeded as exc:
+        status, error = "timed_out", f"{type(exc).__name__}: {exc}"
+    except ModelCallError as exc:
+        status, error = "failed", f"{type(exc).__name__}: {exc}"
+    return WorkerResult(
+        unit_id=unit.unit_id,
+        status=status,
+        payload=payload,
+        error=error,
+        attempts=unit_stats.attempts,
+        retries=unit_stats.retries,
+        cache_hits=unit_stats.cache_hits,
+        cache_misses=unit_stats.cache_misses,
+        quarantined=unit_stats.quarantined,
+        wall_time_s=time.perf_counter() - start,
+        perf_delta=perfstats.delta(perf_before, perfstats.snapshot()),
+    )
+
+
+def ensure_picklable(items: Sequence[Tuple[str, UnitSpec]],
+                     options: WorkerOptions) -> None:
+    """Fail fast in the parent on work that cannot cross a process.
+
+    ``ProcessPoolExecutor`` pickles lazily on a feeder thread, which
+    turns an unpicklable harness or fault boundary into an opaque
+    broken-pool error; probing here yields an actionable one instead.
+    """
+    try:
+        pickle.dumps(options)
+    except Exception as exc:
+        raise ExecutorConfigError(
+            f"process backend requires picklable worker options (harness, "
+            f"retry policy, fault boundary, quarantine): {exc}") from exc
+    for unit_id, spec in items:
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise ExecutorConfigError(
+                f"unit {unit_id!r}: spec is not picklable: {exc}") from exc
+
+
+# -- backends ----------------------------------------------------------------
+
+
+class SerialBackend:
+    """In-process, in-order execution — the ``workers=1`` path."""
+
+    name = "serial"
+
+    def map_units(self, units: Sequence[Any],
+                  fn: Callable[[Any], Any]) -> List[Any]:
+        """Apply ``fn`` to every unit, in order, on the calling thread."""
+        return [fn(unit) for unit in units]
+
+
+class ThreadBackend:
+    """Fan units out over a ``ThreadPoolExecutor`` (shared memory).
+
+    Right for latency-bound work — remote providers, I/O — where
+    workers overlap waiting; the GIL caps speedup on CPU-bound sweeps
+    (use :class:`ProcessBackend` there).
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def map_units(self, units: Sequence[Any],
+                  fn: Callable[[Any], Any]) -> List[Any]:
+        """Apply ``fn`` to every unit across the thread pool.
+
+        Results come back in submission order; the first exception
+        propagates after the pool drains, exactly like the historical
+        inline pool in :meth:`ParallelRunner.run`.
+        """
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(fn, unit) for unit in units]
+            return [future.result() for future in futures]
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` when available: workers inherit warm caches and
+    runtime registrations (providers, dataset builders); fall back to
+    the platform default elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ProcessBackend:
+    """Fan unit specs out over a ``ProcessPoolExecutor``.
+
+    Submission is windowed — at most ``workers`` units in flight — so
+    circuit-breaker decisions are made against current state, exactly
+    like thread-pool execution order would.
+
+    Failure handling (see the module docstring):
+
+    * ``BrokenProcessPool`` — the pool is rebuilt and every interrupted
+      unit re-run *one at a time*; a pool that breaks with a single
+      unit in flight convicts that unit, and ``max_respawns`` solo
+      deaths mark it ``failed`` without poisoning its neighbours.
+    * hard deadline — with ``deadline_s`` set, a worker is given
+      ``deadline_s * hard_deadline_factor + hard_deadline_grace``
+      seconds of wall time (the cooperative in-worker deadline should
+      fire long before this); past that the unit is recorded
+      ``timed_out``, the wedged pool is killed and innocent in-flight
+      units are resubmitted.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        max_respawns: int = 2,
+        poll_interval: float = 0.05,
+        hard_deadline_factor: float = 2.0,
+        hard_deadline_grace: float = 0.5,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.max_respawns = max_respawns
+        self.poll_interval = poll_interval
+        self.hard_deadline_factor = hard_deadline_factor
+        self.hard_deadline_grace = hard_deadline_grace
+        self._mp_context = mp_context or _default_context()
+
+    def hard_deadline(self, deadline_s: Optional[float]) -> Optional[float]:
+        """Parent-side wall bound per worker (``None`` = unbounded)."""
+        if deadline_s is None:
+            return None
+        return (deadline_s * self.hard_deadline_factor
+                + self.hard_deadline_grace)
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=self._mp_context)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Forcefully terminate a pool whose worker is wedged."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_units(
+        self,
+        items: Sequence[Tuple[str, UnitSpec]],
+        options: WorkerOptions,
+        should_submit: Callable[[str], bool],
+        on_result: Callable[[str, WorkerResult], None],
+    ) -> None:
+        """Drive ``items`` (unit-id, spec pairs) to completion.
+
+        ``should_submit`` is consulted immediately before each (re-)
+        submission — returning ``False`` skips the unit (the runner
+        uses this for circuit-breaker fast-fails).  ``on_result``
+        receives exactly one terminal :class:`WorkerResult` per
+        non-skipped unit.  Unexpected worker exceptions (anything that
+        is not a model fault) propagate to the caller, matching
+        in-process semantics.
+        """
+        ensure_picklable(items, options)
+        pending: Deque[Tuple[str, UnitSpec]] = deque(items)
+        solo: Deque[Tuple[str, UnitSpec]] = deque()
+        deaths: Dict[str, int] = {}
+        hard = self.hard_deadline(options.deadline_s)
+        in_flight: Dict[Future, Tuple[str, UnitSpec, float]] = {}
+        pool = self._new_pool()
+        try:
+            while pending or solo or in_flight:
+                if solo:
+                    # crash recovery: run interrupted units one at a
+                    # time so a repeat death convicts exactly one unit
+                    if not in_flight:
+                        unit_id, spec = solo.popleft()
+                        if should_submit(unit_id):
+                            in_flight[pool.submit(
+                                process_worker, spec, options)] = (
+                                    unit_id, spec, time.monotonic())
+                        else:
+                            continue
+                else:
+                    while pending and len(in_flight) < self.workers:
+                        unit_id, spec = pending.popleft()
+                        if not should_submit(unit_id):
+                            continue
+                        in_flight[pool.submit(
+                            process_worker, spec, options)] = (
+                                unit_id, spec, time.monotonic())
+                if not in_flight:
+                    continue
+                done, _ = wait(set(in_flight), timeout=self.poll_interval,
+                               return_when=FIRST_COMPLETED)
+                interrupted: List[Tuple[str, UnitSpec]] = []
+                broken = False
+                flight_size = len(in_flight)
+                for future in done:
+                    unit_id, spec, _started = in_flight.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        outcome = future.result()
+                        outcome.worker_respawns = deaths.get(unit_id, 0)
+                        on_result(unit_id, outcome)
+                    elif isinstance(exc, BrokenProcessPool):
+                        broken = True
+                        interrupted.append((unit_id, spec))
+                    else:
+                        raise exc
+                if broken:
+                    # the pool is unusable; everything still in flight
+                    # died with it
+                    interrupted.extend(
+                        (uid, uspec)
+                        for uid, uspec, _ in in_flight.values())
+                    in_flight.clear()
+                    if flight_size == 1:
+                        uid = interrupted[0][0]
+                        deaths[uid] = deaths.get(uid, 0) + 1
+                        if deaths[uid] > self.max_respawns:
+                            on_result(uid, WorkerResult(
+                                unit_id=uid,
+                                status="failed",
+                                error=(f"WorkerCrash: worker process died "
+                                       f"{deaths[uid]} time(s) running "
+                                       f"this unit"),
+                                worker_respawns=deaths[uid]))
+                            interrupted = []
+                    solo.extend(interrupted)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._new_pool()
+                    continue
+                if hard is not None and in_flight:
+                    now = time.monotonic()
+                    expired = [
+                        (future, entry)
+                        for future, entry in in_flight.items()
+                        if now - entry[2] > hard
+                    ]
+                    if expired:
+                        for future, (unit_id, spec, _started) in expired:
+                            del in_flight[future]
+                            on_result(unit_id, WorkerResult(
+                                unit_id=unit_id,
+                                status="timed_out",
+                                error=(f"DeadlineExceeded: no result within "
+                                       f"the {hard:.3f}s hard deadline; "
+                                       f"worker process killed"),
+                                worker_respawns=deaths.get(unit_id, 0)))
+                        # only killing the pool frees a wedged worker;
+                        # innocents restart with a fresh clock
+                        survivors = [
+                            (uid, uspec)
+                            for uid, uspec, _ in in_flight.values()]
+                        in_flight.clear()
+                        self._kill_pool(pool)
+                        pool = self._new_pool()
+                        pending.extendleft(reversed(survivors))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Any of the three concrete backends.
+ExecutionBackend = Union[SerialBackend, ThreadBackend, ProcessBackend]
+
+
+def create_backend(name: str, workers: int) -> ExecutionBackend:
+    """Build the backend called ``name`` (one of :data:`BACKEND_NAMES`)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers)
+    if name == "process":
+        return ProcessBackend(workers)
+    raise ExecutorConfigError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
+
+
+def resolve_backend(backend: "Optional[str | ExecutionBackend]",
+                    workers: int) -> ExecutionBackend:
+    """Coerce a backend argument to an instance.
+
+    ``None`` preserves the historical default — serial at ``workers=1``,
+    threads otherwise; a string goes through :func:`create_backend`;
+    an instance passes through untouched.
+    """
+    if backend is None:
+        return SerialBackend() if workers == 1 else ThreadBackend(workers)
+    if isinstance(backend, str):
+        return create_backend(backend, workers)
+    return backend

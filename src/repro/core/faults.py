@@ -25,6 +25,8 @@ concurrently from its worker pool.
 from __future__ import annotations
 
 import hashlib
+import os
+import signal
 import threading
 import time
 from pathlib import Path
@@ -190,6 +192,63 @@ class LatencyBoundary(FaultBoundary):
     def check(self, unit_id: str, qid: str) -> None:
         if self.per_question:
             self._sleep(self.per_question)
+
+
+class BusyBoundary(FaultBoundary):
+    """Burn CPU while *holding the GIL* on every crossing (never faults).
+
+    The inverse of :class:`LatencyBoundary`: instead of sleeping (which
+    releases the GIL and lets thread workers overlap), each crossing
+    runs a tight ``sha256`` chain over tiny buffers — pure Python-level
+    compute the interpreter cannot parallelise across threads.  The
+    process-scaling benchmark uses this to model the CPU-bound regime
+    where only :class:`~repro.core.executor.ProcessBackend` scales.
+    Stateless, hence trivially picklable for process workers.
+    """
+
+    def __init__(self, spins: int = 400):
+        if spins < 0:
+            raise ValueError("spins must be >= 0")
+        self.spins = spins
+
+    def check(self, unit_id: str, qid: str) -> None:
+        digest = hashlib.sha256(f"{unit_id}|{qid}".encode("utf-8")).digest()
+        for _ in range(self.spins):
+            # small buffers keep hashlib from releasing the GIL
+            digest = hashlib.sha256(digest).digest()
+
+
+class WorkerKillBoundary(FaultBoundary):
+    """SIGKILL the current process at a scripted (unit, question) crossing.
+
+    Simulates a real worker-process death — OOM kill, segfault, operator
+    ``kill -9`` — which no in-process exception handling can observe;
+    only the parent's broken-pool recovery (or a relaunch, for in-process
+    backends) can handle it.  ``kill_on`` is a qid or ``"unit_id::qid"``
+    as in :class:`ScriptedFaults`.
+
+    The one-shot latch is a *file*, not memory, so it survives both the
+    process boundary and relaunches: the first worker to reach the
+    scripted crossing claims ``flag_path`` atomically (``O_EXCL``) and
+    dies; every later crossing — same run, sibling worker, or a resumed
+    launch — sees the flag and passes.  No locks, so instances pickle
+    cleanly into process-backend workers.
+    """
+
+    def __init__(self, flag_path: "Path | str", kill_on: str):
+        self.flag_path = str(flag_path)
+        self.kill_on = kill_on
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if qid != self.kill_on and f"{unit_id}::{qid}" != self.kill_on:
+            return
+        try:
+            fd = os.open(self.flag_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
 
 
 class CompositeBoundary(FaultBoundary):

@@ -99,18 +99,23 @@ class EvaluationHarness:
                          category: Category = Category.DIGITAL,
                          factors: Sequence[int] = (1, 8, 16),
                          runner: Optional[ParallelRunner] = None,
-                         workers: int = 1) -> Dict[int, EvalResult]:
+                         workers: int = 1,
+                         backend: Optional[str] = None
+                         ) -> Dict[int, EvalResult]:
         """Section IV-B: one category evaluated at downsampled resolutions.
 
         Raster-grounded perception is forced on per work unit (the study
         is about image quality) while *this* harness — its judge, manual
         overrides and any subclass behaviour — is reused unchanged; no
         fresh harness is constructed.  Pass ``runner`` to share a cache
-        or checkpoint directory, or ``workers`` to fan the factors out.
+        or checkpoint directory, ``workers`` to fan the factors out, or
+        ``backend`` to pick the execution backend (see
+        :mod:`repro.core.executor`).
         """
         subset = build_chipvqa().by_category(category)
         if runner is None:
-            runner = ParallelRunner(harness=self, workers=workers)
+            runner = ParallelRunner(harness=self, workers=workers,
+                                    backend=backend)
         units = [
             WorkUnit(model=model, dataset=subset, setting=WITH_CHOICE,
                      resolution_factor=factor, use_raster=True)
@@ -130,23 +135,30 @@ def run_table2(models: "Sequence[ModelProvider | str]",
                workers: int = 1,
                run_dir: "Optional[Path | str]" = None,
                resume: bool = True,
+               backend: Optional[str] = None,
+               spill_dir: "Optional[Path | str]" = None,
                ) -> Dict[str, Dict[str, EvalResult]]:
     """Evaluate a provider list in both Table II settings.
 
     ``models`` entries may be providers, raw models, or provider
     registry names (strings).  Execution goes through
     :class:`~repro.core.runner.ParallelRunner`: ``workers`` shards the
-    (provider, setting) cells over a thread pool (``1`` = serial),
-    ``run_dir`` checkpoints completed cells so an interrupted sweep
-    resumes instead of restarting.  Pass a pre-configured ``runner``
-    for caches, retry policies or fault boundaries.
+    (provider, setting) cells over an execution backend (``backend``
+    picks serial / thread / process fan-out, defaulting to serial at
+    ``workers=1`` and threads otherwise — see
+    :mod:`repro.core.executor`), ``run_dir`` checkpoints completed
+    cells so an interrupted sweep resumes instead of restarting, and
+    ``spill_dir`` turns on the cross-process on-disk cache tier.  Pass
+    a pre-configured ``runner`` for caches, retry policies or fault
+    boundaries.
 
     Returns ``{provider name: {"with_choice": ..., "no_choice": ...}}``.
     """
     harness = harness or EvaluationHarness()
     if runner is None:
         runner = ParallelRunner(harness=harness, workers=workers,
-                                run_dir=run_dir, resume=resume)
+                                run_dir=run_dir, resume=resume,
+                                backend=backend, spill_dir=spill_dir)
     standard = build_chipvqa()
     challenge = build_chipvqa_challenge()
     units: List[WorkUnit] = []

@@ -8,23 +8,37 @@ eviction counters through the registry here.  The parallel runner folds
 and ``manifest.json``, so cache effectiveness is observable in every run
 artifact rather than asserted in a benchmark once.
 
-The module is deliberately dependency-free (``threading`` and
-``collections`` only): it sits below :mod:`repro.visual`,
-:mod:`repro.models` and :mod:`repro.core`'s heavier modules in the
-import graph and must stay importable from any of them.
+Each :class:`LruCache` may additionally be backed by an on-disk,
+content-addressed :class:`SpillStore` (see :func:`enable_spill`): a
+memory miss consults the store before recomputing, and every put is
+written through, so sibling *processes* — the multiprocess execution
+backend's workers — share perception work instead of each paying the
+cold-start cost.  Spill traffic has its own ``spill_hits`` /
+``spill_misses`` counters, reported only once the tier has been
+consulted so snapshots stay stable for spill-free runs.
+
+The module is deliberately stdlib-only: it sits below
+:mod:`repro.visual`, :mod:`repro.models` and :mod:`repro.core`'s
+heavier modules in the import graph and must stay importable from any
+of them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 
 class CacheStats:
     """Thread-safe hit/miss/eviction counters for one named cache."""
 
-    __slots__ = ("name", "_lock", "hits", "misses", "evictions")
+    __slots__ = ("name", "_lock", "hits", "misses", "evictions",
+                 "spill_hits", "spill_misses")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -32,6 +46,8 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.spill_hits = 0
+        self.spill_misses = 0
 
     def record_hit(self, count: int = 1) -> None:
         with self._lock:
@@ -45,6 +61,16 @@ class CacheStats:
         with self._lock:
             self.evictions += count
 
+    def record_spill_hit(self, count: int = 1) -> None:
+        """A lookup served from the on-disk spill tier."""
+        with self._lock:
+            self.spill_hits += count
+
+    def record_spill_miss(self, count: int = 1) -> None:
+        """A spill-tier probe that found nothing on disk."""
+        with self._lock:
+            self.spill_misses += count
+
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when untouched)."""
         with self._lock:
@@ -53,14 +79,93 @@ class CacheStats:
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses,
+            data = {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions}
+            # spill counters appear only once the tier has been consulted,
+            # keeping snapshots byte-stable for spill-free configurations.
+            if self.spill_hits or self.spill_misses:
+                data["spill_hits"] = self.spill_hits
+                data["spill_misses"] = self.spill_misses
+            return data
 
     def reset(self) -> None:
         with self._lock:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.spill_hits = 0
+            self.spill_misses = 0
+
+
+#: A spill codec: ``(encode, decode)`` where ``encode(value)`` returns a
+#: JSON-serialisable payload and ``decode(payload)`` reconstructs the
+#: value.  Caches without a codec are never spilled to disk.
+SpillCodec = Tuple[Callable[[Any], Any], Callable[[Any], Any]]
+
+#: Codec for values that are already JSON-native (floats, strings, …).
+JSON_VALUE_CODEC: SpillCodec = (lambda value: value, lambda payload: payload)
+
+
+class SpillStore:
+    """Content-addressed on-disk cache tier shared across processes.
+
+    Entries live under ``<root>/<cache name>/<aa>/<sha256>.json`` where
+    the digest is the sha256 of the cache key's ``repr`` — keys are
+    tuples of primitives, so the digest is deterministic across
+    processes.  Writes are atomic (pid-unique temp file, then rename),
+    so concurrent workers can never observe a torn entry; an existing
+    entry is never rewritten, which makes write-through from many
+    sibling processes cheap.  Unreadable or undecodable entries degrade
+    to a miss.
+    """
+
+    def __init__(self, root: "Path | str", name: str,
+                 encode: Callable[[Any], Any],
+                 decode: Callable[[Any], Any]) -> None:
+        self.root = Path(root) / name
+        self._encode = encode
+        self._decode = decode
+
+    def path_for(self, key: Hashable) -> Path:
+        """Deterministic on-disk location of ``key``'s entry."""
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / (digest + ".json")
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Decode the stored value for ``key``, or ``default``."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return default
+        try:
+            return self._decode(payload)
+        except (KeyError, TypeError, ValueError):
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Persist ``value`` under ``key`` (no-op if already present).
+
+        The temp-file name embeds the writer's pid: sibling *processes*
+        racing to spill the same key must not share a temp path, or the
+        loser's rename fails after the winner consumed it.  Entries are
+        pure functions of their key, so whichever writer wins, the
+        stored value is the same — a lost race is silently dropped.
+        """
+        path = self.path_for(key)
+        if path.exists():
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(self._encode(value), sort_keys=True),
+                           encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 class LruCache:
@@ -71,14 +176,24 @@ class LruCache:
     runs the factory *outside* the lock: under a race two threads may
     both compute, but entries are pure functions of their key, so the
     duplicate work is benign and lock hold times stay tiny.
+
+    A cache constructed with a ``spill_codec`` can be backed by a
+    :class:`SpillStore` (see :func:`enable_spill`): ``get`` consults the
+    store after a memory miss (promoting found values back into
+    memory), ``put`` writes through.  Because every entry is a pure
+    function of its key, the disk tier never changes results — it only
+    moves the compute.
     """
 
     def __init__(self, capacity: int, name: Optional[str] = None,
-                 stats: Optional[CacheStats] = None) -> None:
+                 stats: Optional[CacheStats] = None,
+                 spill_codec: Optional[SpillCodec] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.stats = stats or CacheStats(name or "anonymous")
+        self.spill_codec = spill_codec
+        self._spill: Optional[SpillStore] = None
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         if name is not None:
@@ -93,28 +208,55 @@ class LruCache:
         with self._lock:
             return key in self._entries
 
+    @property
+    def spill(self) -> Optional[SpillStore]:
+        """The attached on-disk spill store, if any."""
+        return self._spill
+
+    def attach_spill(self, store: SpillStore) -> None:
+        """Back this cache with an on-disk spill tier."""
+        self._spill = store
+
+    def detach_spill(self) -> None:
+        """Remove the on-disk spill tier (entries on disk are kept)."""
+        self._spill = None
+
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Look ``key`` up, counting a hit or miss and refreshing recency."""
+        """Look ``key`` up, counting a hit or miss and refreshing recency.
+
+        With a spill store attached, a memory miss falls through to the
+        disk tier; a value found there counts as a hit (plus a
+        ``spill_hit``) and is promoted back into memory.
+        """
+        sentinel = _MISS
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 value = self._entries[key]
-                hit = True
             else:
-                value = default
-                hit = False
-        if hit:
+                value = sentinel
+        if value is not sentinel:
             self.stats.record_hit()
-        else:
-            self.stats.record_miss()
-        return value
+            return value
+        spill = self._spill
+        if spill is not None:
+            value = spill.get(key, sentinel)
+            if value is not sentinel:
+                self.stats.record_spill_hit()
+                self.stats.record_hit()
+                self._store(key, value)
+                return value
+            self.stats.record_spill_miss()
+        self.stats.record_miss()
+        return default
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look ``key`` up without touching counters or recency."""
         with self._lock:
             return self._entries.get(key, default)
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def _store(self, key: Hashable, value: Any) -> None:
+        """Insert into the in-memory tier only, counting evictions."""
         evicted = 0
         with self._lock:
             self._entries[key] = value
@@ -124,6 +266,12 @@ class LruCache:
                 evicted += 1
         if evicted:
             self.stats.record_eviction(evicted)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._store(key, value)
+        spill = self._spill
+        if spill is not None:
+            spill.put(key, value)
 
     def get_or_create(self, key: Hashable,
                       factory: Callable[[], Any]) -> Any:
@@ -205,6 +353,71 @@ def delta(before: Dict[str, Dict[str, int]],
 def total(counters: Dict[str, Dict[str, int]], field: str) -> int:
     """Sum one counter field across a snapshot (e.g. all hits)."""
     return sum(entry.get(field, 0) for entry in counters.values())
+
+
+def merge_counters(
+    into: Dict[str, Dict[str, int]],
+    moved: Dict[str, Dict[str, int]],
+) -> Dict[str, Dict[str, int]]:
+    """Accumulate one snapshot-shaped delta into another, in place.
+
+    Counter fields add; the ``size`` field is a level, not a counter,
+    so it takes the maximum.  Used to fold per-worker-process counter
+    movement back into a run-level view (see
+    :attr:`repro.core.runner.RunStats.perf_caches`).  Returns ``into``.
+    """
+    for name, counters in moved.items():
+        entry = into.setdefault(name, {})
+        for key, value in counters.items():
+            if key == "size":
+                entry[key] = max(entry.get(key, 0), value)
+            else:
+                entry[key] = entry.get(key, 0) + value
+    return into
+
+
+_SPILL_LOCK = threading.Lock()
+_SPILL_ROOT: Optional[str] = None
+
+
+def enable_spill(root: "Path | str") -> List[str]:
+    """Attach an on-disk spill tier to every spill-capable cache.
+
+    Only caches constructed with a ``spill_codec`` participate; the
+    rest (e.g. the dataset cache, whose values are not serialisable)
+    are untouched.  Idempotent; re-enabling with a different root
+    repoints the stores.  Returns the attached cache names, sorted.
+    """
+    global _SPILL_ROOT
+    with _SPILL_LOCK:
+        with _REGISTRY_LOCK:
+            caches = dict(_REGISTRY)
+        attached = []
+        for name, cache in sorted(caches.items()):
+            if cache.spill_codec is None:
+                continue
+            encode, decode = cache.spill_codec
+            cache.attach_spill(SpillStore(root, name, encode, decode))
+            attached.append(name)
+        _SPILL_ROOT = str(root)
+    return attached
+
+
+def disable_spill() -> None:
+    """Detach the spill tier everywhere (on-disk entries are kept)."""
+    global _SPILL_ROOT
+    with _SPILL_LOCK:
+        with _REGISTRY_LOCK:
+            caches = list(_REGISTRY.values())
+        for cache in caches:
+            cache.detach_spill()
+        _SPILL_ROOT = None
+
+
+def spill_root() -> Optional[str]:
+    """The directory spill stores are rooted at, or ``None`` if off."""
+    with _SPILL_LOCK:
+        return _SPILL_ROOT
 
 
 def reset() -> None:

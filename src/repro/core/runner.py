@@ -50,13 +50,13 @@ import json
 import re
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     Callable, Dict, List, Optional, Sequence, TYPE_CHECKING,
 )
 
+from repro.core import executor as executor_mod
 from repro.core import perfstats, results_io
 from repro.core.dataset import Dataset
 from repro.core.faults import (
@@ -177,6 +177,7 @@ class UnitStats:
     quarantined: int = 0         # questions salvaged as judge_method=quarantined
     corrupt_checkpoints: int = 0  # resume files rejected: parse/checksum
     stale_checkpoints: int = 0    # resume files rejected: metadata mismatch
+    worker_respawns: int = 0      # process-backend worker deaths absorbed
     error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -192,6 +193,7 @@ class UnitStats:
             "quarantined": self.quarantined,
             "corrupt_checkpoints": self.corrupt_checkpoints,
             "stale_checkpoints": self.stale_checkpoints,
+            "worker_respawns": self.worker_respawns,
             "error": self.error,
         }
 
@@ -203,6 +205,7 @@ class RunStats:
         self._lock = threading.Lock()
         self._units: Dict[str, UnitStats] = {}
         self._perf_caches: Dict[str, Dict[str, int]] = {}
+        self._absorbed_perf: Dict[str, Dict[str, int]] = {}
 
     def unit(self, unit_id: str) -> UnitStats:
         with self._lock:
@@ -275,14 +278,29 @@ class RunStats:
                 name: dict(entry) for name, entry in counters.items()
             }
 
+    def absorb_perf_caches(
+            self, moved: Dict[str, Dict[str, int]]) -> None:
+        """Fold a worker process's counter delta into the run telemetry.
+
+        The process backend evaluates units in sibling processes whose
+        module-global cache counters the parent's :func:`perfstats.snapshot`
+        cannot see; each worker reports its movement and the run view
+        (:attr:`perf_caches`) sums local + absorbed, keeping
+        ``--cache-stats`` and the manifest truthful across backends.
+        """
+        with self._lock:
+            perfstats.merge_counters(self._absorbed_perf, moved)
+
     @property
     def perf_caches(self) -> Dict[str, Dict[str, int]]:
-        """Hit/miss/eviction counters of the perception-substrate caches."""
+        """Hit/miss/eviction counters of the perception-substrate caches,
+        merged across this process and any absorbed worker processes."""
         with self._lock:
-            return {
+            merged = {
                 name: dict(entry)
                 for name, entry in self._perf_caches.items()
             }
+            return perfstats.merge_counters(merged, self._absorbed_perf)
 
     def total_wall_time(self) -> float:
         return sum(u.wall_time_s for u in self.units())
@@ -370,6 +388,8 @@ class ParallelRunner:
         watchdog_interval: float = 0.05,
         clock: Callable[[], float] = time.monotonic,
         checkpoint_writer: Optional[Callable[[Path, str], None]] = None,
+        backend: "Optional[str | executor_mod.ExecutionBackend]" = None,
+        spill_dir: "Optional[Path | str]" = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -380,6 +400,8 @@ class ParallelRunner:
             harness = EvaluationHarness()
         self.harness = harness
         self.workers = workers
+        self.backend = executor_mod.resolve_backend(backend, workers)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.cache = cache if cache is not None else RunCache()
         self.retry = retry or RetryPolicy()
         self.fault_boundary = fault_boundary
@@ -427,31 +449,40 @@ class ParallelRunner:
                 pending.append(unit)
 
         self._not_started = len(pending)
-        if self.deadline_s is not None:
+        if self.spill_dir is not None:
+            perfstats.enable_spill(self.spill_dir)
+        is_process = isinstance(self.backend, executor_mod.ProcessBackend)
+        if self.deadline_s is not None and not is_process:
+            # process-backend deadlines are enforced in the workers
+            # (cooperatively) and by the backend's hard kill, not here
             self._watchdog = Watchdog(
                 clock=self._clock, interval=self.watchdog_interval,
                 on_timeout=lambda uid: self._write_manifest(units, stats))
             self._watchdog.start()
         try:
-            if self.workers == 1 or len(pending) <= 1:
+            if is_process:
+                if pending:
+                    self._run_process(pending, units, stats, collected)
+            elif (isinstance(self.backend, executor_mod.ThreadBackend)
+                    and len(pending) > 1):
+                results = self.backend.map_units(
+                    pending, lambda u: self._execute(u, units, stats))
+                for unit, result in zip(pending, results):
+                    if result is not None:
+                        collected[unit.unit_id] = result
+            else:
                 for unit in pending:
                     result = self._execute(unit, units, stats)
                     if result is not None:
                         collected[unit.unit_id] = result
-            else:
-                with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                    futures = [
-                        (unit, pool.submit(self._execute, unit, units, stats))
-                        for unit in pending
-                    ]
-                    for unit, future in futures:
-                        result = future.result()
-                        if result is not None:
-                            collected[unit.unit_id] = result
         finally:
             if self._watchdog is not None:
                 self._watchdog.stop()
                 self._watchdog = None
+            if self.spill_dir is not None:
+                # scoped to the run: later spill-free runs must not
+                # keep consulting (or repopulating) the disk tier
+                perfstats.disable_spill()
 
         ordered: Dict[str, EvalResult] = {}
         for unit in units:
@@ -466,7 +497,113 @@ class ParallelRunner:
         self._write_manifest(units, stats)
         return RunOutcome(results=ordered, stats=stats, failures=failures)
 
+    def evaluate_unit(self, unit: WorkUnit, unit_stats: UnitStats,
+                      deadline: Optional[Deadline] = None) -> EvalResult:
+        """Evaluate one unit through the retry/cache/quarantine path.
+
+        No pool, breaker, checkpoint or manifest machinery — this is the
+        single evaluation code path that backends (including worker
+        processes, see :func:`repro.core.executor.process_worker`) share,
+        which is what keeps artifacts byte-identical across backends.
+        """
+        return self._evaluate_with_retry(unit, unit_stats, deadline)
+
     # -- unit execution ------------------------------------------------------
+
+    def _run_process(self, pending: List[WorkUnit],
+                     all_units: Sequence[WorkUnit], stats: RunStats,
+                     collected: Dict[str, EvalResult]) -> None:
+        """Fan pending units out over worker processes.
+
+        The parent keeps everything that must stay single-writer:
+        breaker decisions (at submission time), checkpoint writes (via
+        the injectable writer, so the chaos harness still intercepts
+        them), manifest updates and perf-counter absorption.  Workers
+        return canonical checkpoint payloads; the parent writes them
+        verbatim.
+        """
+        options = executor_mod.WorkerOptions(
+            harness=self.harness,
+            retry=self.retry,
+            fault_boundary=self.fault_boundary,
+            quarantine=self.quarantine,
+            deadline_s=self.deadline_s,
+            spill_root=(str(self.spill_dir)
+                        if self.spill_dir is not None else None),
+        )
+        by_id: Dict[str, WorkUnit] = {}
+        items: List = []
+        for unit in pending:
+            by_id[unit.unit_id] = unit
+            items.append((unit.unit_id, executor_mod.spec_for(unit)))
+        started: set = set()
+
+        def should_submit(unit_id: str) -> bool:
+            unit = by_id[unit_id]
+            unit_stats = stats.unit(unit_id)
+            if unit_id not in started:  # respawns must not re-count
+                started.add(unit_id)
+                with self._depth_lock:
+                    self._not_started -= 1
+                    unit_stats.queue_depth = self._not_started
+            model_key = unit.provider.name
+            if self.breaker is not None and not self.breaker.allow(model_key):
+                unit_stats.status = "fast_failed"
+                unit_stats.error = (
+                    f"CircuitOpenError: circuit open for model {model_key!r} "
+                    f"after {self.breaker.failure_threshold} consecutive "
+                    f"failures")
+                self.breaker.record_fast_fail(model_key)
+                self._write_manifest(all_units, stats)
+                return False
+            return True
+
+        def on_result(unit_id: str,
+                      outcome: executor_mod.WorkerResult) -> None:
+            unit = by_id[unit_id]
+            unit_stats = stats.unit(unit_id)
+            unit_stats.attempts = outcome.attempts
+            unit_stats.retries = outcome.retries
+            unit_stats.cache_hits = outcome.cache_hits
+            unit_stats.cache_misses = outcome.cache_misses
+            unit_stats.quarantined = outcome.quarantined
+            unit_stats.worker_respawns = outcome.worker_respawns
+            unit_stats.wall_time_s = outcome.wall_time_s
+            stats.absorb_perf_caches(outcome.perf_delta)
+            model_key = unit.provider.name
+            if outcome.status == "completed" and outcome.payload is not None:
+                unit_stats.status = "completed"
+                path = self.checkpoint_path(unit)
+                if path is not None:
+                    self._checkpoint_writer(path, outcome.payload)
+                result = results_io.loads(outcome.payload)
+                result.telemetry = {
+                    "wall_time_s": unit_stats.wall_time_s,
+                    "attempts": float(unit_stats.attempts),
+                    "retries": float(unit_stats.retries),
+                    "cache_hits": float(unit_stats.cache_hits),
+                    "cache_misses": float(unit_stats.cache_misses),
+                    "perf_cache_hits": float(
+                        perfstats.total(outcome.perf_delta, "hits")),
+                    "perf_cache_misses": float(
+                        perfstats.total(outcome.perf_delta, "misses")),
+                }
+                if unit_stats.quarantined:
+                    result.telemetry["quarantined"] = float(
+                        unit_stats.quarantined)
+                collected[unit_id] = result
+                if self.breaker is not None:
+                    self.breaker.record_success(model_key)
+            else:
+                unit_stats.status = outcome.status
+                unit_stats.error = outcome.error
+                if self.breaker is not None:
+                    self.breaker.record_failure(
+                        model_key, unit_stats.error or "worker failure")
+            self._write_manifest(all_units, stats)
+
+        assert isinstance(self.backend, executor_mod.ProcessBackend)
+        self.backend.run_units(items, options, should_submit, on_result)
 
     def _execute(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
                  stats: RunStats) -> Optional[EvalResult]:

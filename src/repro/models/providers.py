@@ -173,6 +173,17 @@ class LocalProvider:
         else:
             setattr(self.model, attribute, value)
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: hand over the instance dict explicitly so the
+        transparent ``__getattr__`` proxy can never answer a pickle
+        protocol probe with the wrapped model's attributes."""
+        return self.__dict__
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore the instance dict directly (bypassing the
+        write-through ``__setattr__`` proxy)."""
+        self.__dict__.update(state)
+
     def __repr__(self) -> str:
         return f"LocalProvider({self.model!r})"
 
@@ -307,6 +318,19 @@ class RemoteStubProvider:
         with self._lock:
             self.calls += 1
         return answers
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: the telemetry lock is process-local state and
+        is dropped; behaviour (seed-keyed draws, crossing counts) ships
+        so a worker process replays the endpoint deterministically."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Rebuild the dropped lock in the destination process."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:
         return (f"RemoteStubProvider({self.inner!r}, "
@@ -466,6 +490,23 @@ class BatchingProvider:
             for entry in batch:
                 entry["done"] = True
             self._condition.notify_all()
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: the lock/condition pair is process-local and
+        dropped, along with any in-flight queue (waiters cannot cross a
+        process boundary — the destination starts with an empty batch)."""
+        state = dict(self.__dict__)
+        for key in ("_lock", "_condition", "_queue", "_draining"):
+            del state[key]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Rebuild synchronisation primitives and an empty queue."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._queue = []
+        self._draining = False
 
     def __repr__(self) -> str:
         return (f"BatchingProvider({self.inner!r}, "

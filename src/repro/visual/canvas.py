@@ -23,6 +23,23 @@ from repro.visual.glyphs import (
 WHITE = 255
 BLACK = 0
 
+#: Boolean glyph masks memoized per ``(character, scale)``.  Scaling is
+#: nearest-neighbour (``np.repeat`` on both axes), which reproduces the
+#: per-bit ``fill_rect`` tiling of the original scalar renderer exactly.
+_GLYPH_MASKS: dict = {}
+
+
+def _glyph_mask(character: str, scale: int) -> np.ndarray:
+    """The glyph as a read-only boolean mask upscaled by ``scale``."""
+    cached = _GLYPH_MASKS.get((character, scale))
+    if cached is None:
+        mask = np.array(glyph_bitmap(character), dtype=bool)
+        if scale != 1:
+            mask = np.repeat(np.repeat(mask, scale, axis=0), scale, axis=1)
+        mask.setflags(write=False)
+        _GLYPH_MASKS[(character, scale)] = cached = mask
+    return cached
+
 
 class Canvas:
     """A mutable grayscale raster with vector-ish drawing primitives."""
@@ -51,6 +68,47 @@ class Canvas:
         y1 = min(self.height, y + radius + 1)
         if x0 < x1 and y0 < y1:
             self.pixels[y0:y1, x0:x1] = ink
+
+    def _paint_points(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ink: int,
+        thickness: int = 1,
+    ) -> None:
+        """Vectorized equivalent of ``_stroke_point`` over many points.
+
+        Single-pixel strokes become one clipped fancy-index assignment;
+        thick strokes expand each point into its ``thickness // 2``
+        square of offsets first.  Because every point writes the same
+        ink, the unordered union is byte-identical to the scalar loop.
+        """
+        if xs.size == 0:
+            return
+        if thickness > 1:
+            radius = thickness // 2
+            offsets = np.arange(-radius, radius + 1)
+            grid_x = xs[:, None, None] + offsets[None, None, :]
+            grid_y = ys[:, None, None] + offsets[None, :, None]
+            grid_x, grid_y = np.broadcast_arrays(grid_x, grid_y)
+            xs, ys = grid_x.ravel(), grid_y.ravel()
+        keep = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        self.pixels[ys[keep], xs[keep]] = ink
+
+    def _blit_mask(
+        self, x: int, y: int, mask: np.ndarray, ink: int
+    ) -> None:
+        """Paint ``ink`` through a boolean ``mask`` whose top-left corner
+        lands at ``(x, y)``, clipping against the canvas bounds the same
+        way ``set_pixel``/``fill_rect`` do."""
+        height, width = mask.shape
+        x0, y0 = max(0, x), max(0, y)
+        x1 = min(self.width, x + width)
+        y1 = min(self.height, y + height)
+        if x0 >= x1 or y0 >= y1:
+            return
+        window = mask[y0 - y:y1 - y, x0 - x:x1 - x]
+        self.pixels[y0:y1, x0:x1][window] = ink
 
     # -- primitives ----------------------------------------------------------
 
@@ -127,33 +185,46 @@ class Canvas:
     ) -> None:
         """Rectangle outline filled with diagonal hatching (layout layers)."""
         self.rect(x, y, width, height, ink)
+        # A slope-1 Bresenham line from (x0, y0) to (x0+n, y0+n) is exactly
+        # the pixel run (x0+i, y0+i) for i = 0..n, so the diagonals can be
+        # generated arithmetically and painted in one masked assignment.
+        columns = []
+        rows = []
         for offset in range(-height, width, pitch):
             x0 = x + max(0, offset)
             y0 = y + max(0, -offset)
             length = min(width - max(0, offset), height - max(0, -offset))
             if length > 0:
-                self.line(x0, y0, x0 + length, y0 + length, ink)
+                steps = np.arange(length + 1)
+                columns.append(x0 + steps)
+                rows.append(y0 + steps)
+        if columns:
+            self._paint_points(np.concatenate(columns),
+                               np.concatenate(rows), ink)
 
     def circle(
         self, cx: int, cy: int, radius: int, ink: int = BLACK, thickness: int = 1
     ) -> None:
         """Midpoint circle outline."""
+        # The integer midpoint recurrence picks the pixels; painting them
+        # is deferred to one vectorized masked assignment.
         x, y = radius, 0
         err = 1 - radius
+        columns = []
+        rows = []
         while x >= y:
-            for px, py in (
-                (cx + x, cy + y), (cx - x, cy + y),
-                (cx + x, cy - y), (cx - x, cy - y),
-                (cx + y, cy + x), (cx - y, cy + x),
-                (cx + y, cy - x), (cx - y, cy - x),
-            ):
-                self._stroke_point(px, py, ink, thickness)
+            columns.extend((cx + x, cx - x, cx + x, cx - x,
+                            cx + y, cx - y, cx + y, cx - y))
+            rows.extend((cy + y, cy + y, cy - y, cy - y,
+                         cy + x, cy + x, cy - x, cy - x))
             y += 1
             if err < 0:
                 err += 2 * y + 1
             else:
                 x -= 1
                 err += 2 * (y - x) + 1
+        self._paint_points(np.asarray(columns), np.asarray(rows),
+                           ink, thickness)
 
     def fill_circle(self, cx: int, cy: int, radius: int, ink: int = BLACK) -> None:
         for dy in range(-radius, radius + 1):
@@ -190,20 +261,7 @@ class Canvas:
         """Draw ``message`` with its top-left corner at ``(x, y)``."""
         cursor = x
         for character in message:
-            bitmap = glyph_bitmap(character)
-            for row, bits in enumerate(bitmap):
-                for col, bit in enumerate(bits):
-                    if bit:
-                        if scale == 1:
-                            self.set_pixel(cursor + col, y + row, ink)
-                        else:
-                            self.fill_rect(
-                                cursor + col * scale,
-                                y + row * scale,
-                                scale,
-                                scale,
-                                ink,
-                            )
+            self._blit_mask(cursor, y, _glyph_mask(character, scale), ink)
             cursor += (GLYPH_WIDTH + 1) * scale
 
     def text_centered(

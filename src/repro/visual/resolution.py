@@ -12,14 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.perfstats import LruCache
+from repro.core.perfstats import JSON_VALUE_CODEC, LruCache
 from repro.core.question import VisualContent
 from repro.visual.scene import min_stroke_scale
 
 #: Content-keyed memo of raster legibility scores: one entry per
 #: (figure content, downsample factor), shared by every encoder and
 #: every model in a sweep.  144 visuals x a handful of factors.
-_LEGIBILITY_CACHE = LruCache(capacity=4096, name="legibility")
+_LEGIBILITY_CACHE = LruCache(capacity=4096, name="legibility",
+                             spill_codec=JSON_VALUE_CODEC)
 
 
 def downsample(image: np.ndarray, factor: int) -> np.ndarray:

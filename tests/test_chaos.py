@@ -5,6 +5,7 @@ artifacts byte-identical to a fault-free run."""
 import pytest
 
 from repro.core import results_io
+from repro.core.executor import ProcessBackend
 from repro.core.faults import (
     ChaosCheckpointWriter,
     CompositeBoundary,
@@ -13,6 +14,7 @@ from repro.core.faults import (
     PoisonedQuestions,
     SimulatedCrash,
     TransientModelError,
+    WorkerKillBoundary,
 )
 from repro.core.harness import EvaluationHarness
 from repro.core.question import Category
@@ -120,6 +122,78 @@ class TestSimulatedCrashEscapes:
         assert torn.exists()
         with pytest.raises(ValueError):
             results_io.load(torn)
+
+
+class TestWorkerProcessDeath:
+    """Chaos at the process-backend layer: a worker process is SIGKILLed
+    mid-unit, the pool is rebuilt, and the run still converges to
+    artifacts byte-identical to a fault-free serial run."""
+
+    def test_killed_worker_respawns_and_converges(self, chipvqa,
+                                                  tmp_path):
+        units = _units(chipvqa)
+        subset = chipvqa.by_category(Category.DIGITAL)
+        victim_unit = units[1].unit_id
+        victim_qid = subset[2].qid
+        boundary = WorkerKillBoundary(
+            flag_path=tmp_path / "killed.flag",
+            kill_on=f"{victim_unit}::{victim_qid}")
+
+        # one worker means the victim is always alone in flight, so the
+        # death is attributed to it (multi-unit flights cannot convict)
+        chaos_dir = tmp_path / "chaos"
+        runner = ParallelRunner(
+            workers=1,
+            backend=ProcessBackend(workers=1, max_respawns=2),
+            run_dir=chaos_dir,
+            fault_boundary=boundary)
+        outcome = runner.run(units)
+
+        # the kill latched exactly once: the respawned worker survives
+        assert (tmp_path / "killed.flag").exists()
+        assert not outcome.failures
+        stats = runner.last_stats
+        assert stats.unit(victim_unit).worker_respawns == 1
+        for unit in units:
+            assert stats.unit(unit.unit_id).status == "completed"
+            assert len(outcome.results[unit.unit_id]) == len(subset)
+
+        # byte-identical to a fault-free serial run, and auditable
+        clean_dir = tmp_path / "clean"
+        clean = ParallelRunner(workers=1, run_dir=clean_dir).run(units)
+        assert not clean.failures
+        for unit in units:
+            name = f"{unit.unit_id}.jsonl"
+            assert ((chaos_dir / name).read_bytes()
+                    == (clean_dir / name).read_bytes())
+        audit = results_io.verify_run(chaos_dir)
+        assert audit.ok
+        assert audit.counts()["ok"] == len(units)
+
+    def test_killed_worker_checkpoints_survive_resume(self, chipvqa,
+                                                      tmp_path):
+        """A second launch over the post-kill run directory resumes
+        every unit from checkpoints instead of re-evaluating."""
+        units = _units(chipvqa, ("gpt-4o", "llava-7b"))
+        subset = chipvqa.by_category(Category.DIGITAL)
+        boundary = WorkerKillBoundary(
+            flag_path=tmp_path / "killed.flag",
+            kill_on=f"{units[0].unit_id}::{subset[0].qid}")
+        run_dir = tmp_path / "run"
+        first = ParallelRunner(
+            workers=2, backend=ProcessBackend(workers=2),
+            run_dir=run_dir, fault_boundary=boundary)
+        assert not first.run(units).failures
+
+        second = ParallelRunner(
+            workers=2, backend=ProcessBackend(workers=2),
+            run_dir=run_dir, fault_boundary=boundary)
+        outcome = second.run(units)
+        assert not outcome.failures
+        assert second.last_stats.resumed == len(units)
+        for unit in units:
+            assert second.last_stats.unit(
+                unit.unit_id).worker_respawns == 0
 
 
 class TestChaosConvergence:

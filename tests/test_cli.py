@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.cli
 from repro.cli import build_parser, main
 
 
@@ -120,6 +121,48 @@ class TestCommands:
         path = tmp_path / "fig.pgm"
         assert main(["show", "mfg-01", "--figure", str(path)]) == 0
         assert path.exists()
+
+
+class TestBackendFlags:
+    def test_table2_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--backend", "gpu"])
+
+    def test_table2_backend_matches_default(self, capsys):
+        """Selecting a backend explicitly changes execution only, not
+        the published table."""
+        assert main(["table2", "--models", "kosmos-2"]) == 0
+        default_out = capsys.readouterr().out
+        for backend in ("serial", "thread"):
+            assert main(["table2", "--models", "kosmos-2",
+                         "--backend", backend, "--workers", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "kosmos-2" in out
+            table = [line for line in out.splitlines()
+                     if "kosmos-2" in line]
+            assert table == [line for line in default_out.splitlines()
+                             if "kosmos-2" in line]
+
+    def test_resolution_accepts_backend(self, capsys):
+        assert main(["resolution", "--factors", "1", "16",
+                     "--backend", "thread", "--workers", "2"]) == 0
+        assert "16x" in capsys.readouterr().out
+
+    def test_workers_clamped_to_cpu_count(self, capsys, monkeypatch):
+        monkeypatch.setattr(repro.cli.os, "cpu_count", lambda: 2)
+        assert main(["table2", "--models", "kosmos-2",
+                     "--workers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert ("warning: --workers 8 exceeds this machine's 2 CPU(s); "
+                "using 2") in out
+        assert "kosmos-2" in out
+
+    def test_workers_within_cpu_count_stay_silent(self, capsys,
+                                                  monkeypatch):
+        monkeypatch.setattr(repro.cli.os, "cpu_count", lambda: 8)
+        assert main(["table2", "--models", "kosmos-2",
+                     "--workers", "2"]) == 0
+        assert "warning:" not in capsys.readouterr().out
 
 
 class TestProviderFlags:

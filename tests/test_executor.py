@@ -1,0 +1,254 @@
+"""Execution backend tests: spec round-trips, backend resolution, the
+cross-backend golden-digest guarantee, and process-backend failure
+handling (wedged workers, persistently dying workers)."""
+
+import hashlib
+import os
+import pickle
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.core import perfstats
+from repro.core.executor import (
+    BACKEND_NAMES,
+    ExecutorConfigError,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    UnitSpec,
+    WorkerOptions,
+    create_backend,
+    dataset_from_spec,
+    ensure_picklable,
+    register_dataset_builder,
+    resolve_backend,
+    spec_for,
+)
+from repro.core.faults import FaultBoundary, LatencyBoundary
+from repro.core.harness import run_table2
+from repro.core.question import Category
+from repro.core.runner import ParallelRunner, WorkUnit
+from repro.models import WITH_CHOICE, build_model, build_zoo
+from repro.models.providers import RemoteStubProvider, create_provider
+
+#: Chained sha256 over the sorted checkpoint files of a full-zoo
+#: ``run_table2`` (24 units), captured from the pre-backend thread path.
+#: Every backend/spill combination must reproduce it byte-for-byte.
+GOLDEN_TABLE2_DIGEST = (
+    "0cc1564958013cfdc74622cfc12c3c559f8660e6ceadd87b606ec64ef7a39f9f"
+)
+
+
+def run_dir_digest(run_dir: Path) -> str:
+    """Order-independent-input, byte-exact digest of a run's artifacts."""
+    digest = hashlib.sha256()
+    for path in sorted(Path(run_dir).glob("*.jsonl")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class TestBackendResolution:
+    def test_default_is_serial_at_one_worker(self):
+        assert isinstance(resolve_backend(None, 1), SerialBackend)
+
+    def test_default_is_thread_at_many_workers(self):
+        backend = resolve_backend(None, 4)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.workers == 4
+
+    def test_names_create_backends(self):
+        assert isinstance(create_backend("serial", 2), SerialBackend)
+        assert isinstance(create_backend("thread", 2), ThreadBackend)
+        assert isinstance(create_backend("process", 2), ProcessBackend)
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExecutorConfigError, match="unknown backend"):
+            create_backend("gpu", 2)
+
+    def test_instances_pass_through(self):
+        backend = ProcessBackend(workers=2)
+        assert resolve_backend(backend, 8) is backend
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+        with pytest.raises(ValueError):
+            ProcessBackend(0)
+
+    def test_hard_deadline(self):
+        backend = ProcessBackend(workers=1, hard_deadline_factor=2.0,
+                                 hard_deadline_grace=0.5)
+        assert backend.hard_deadline(None) is None
+        assert backend.hard_deadline(1.0) == pytest.approx(2.5)
+
+
+class TestUnitSpecs:
+    def test_round_trip_registry_provider(self, chipvqa):
+        unit = WorkUnit(model=build_model("gpt-4o"),
+                        dataset=chipvqa.by_category(Category.DIGITAL),
+                        setting=WITH_CHOICE, resolution_factor=2)
+        spec = spec_for(unit)
+        assert spec.provider_name == "gpt-4o"
+        assert spec.provider_pickle is None
+        assert spec.dataset_spec == (
+            "chipvqa", "by_category", Category.DIGITAL.value)
+        rebuilt = pickle.loads(pickle.dumps(spec)).build_unit()
+        assert rebuilt.unit_id == unit.unit_id
+        assert (rebuilt.provider.config_fingerprint()
+                == unit.provider.config_fingerprint())
+        assert [q.qid for q in rebuilt.dataset] == [
+            q.qid for q in unit.dataset]
+
+    def test_non_registry_provider_travels_as_pickle(self, chipvqa):
+        wrapped = RemoteStubProvider(create_provider("gpt-4o"),
+                                     transient_rate=0.5, seed=3)
+        unit = WorkUnit(model=wrapped, dataset=chipvqa, setting=WITH_CHOICE)
+        spec = spec_for(unit)
+        assert spec.provider_name is None
+        assert spec.provider_pickle is not None
+        rebuilt = spec.build_unit()
+        assert (rebuilt.provider.config_fingerprint()
+                == wrapped.config_fingerprint())
+
+    def test_dataset_without_build_spec_rejected(self, chipvqa):
+        subset = chipvqa.by_category(Category.DIGITAL)
+        subset.build_spec = None
+        unit = WorkUnit(model=build_model("gpt-4o"), dataset=subset,
+                        setting=WITH_CHOICE)
+        with pytest.raises(ExecutorConfigError, match="build_spec"):
+            spec_for(unit)
+
+    def test_registered_builder_resolves(self, chipvqa):
+        register_dataset_builder("digital-only",
+                                 lambda: chipvqa.by_category(
+                                     Category.DIGITAL))
+        dataset = dataset_from_spec(("digital-only",))
+        assert len(dataset) == len(chipvqa.by_category(Category.DIGITAL))
+
+    def test_dataset_spec_errors(self):
+        with pytest.raises(ExecutorConfigError, match="empty"):
+            dataset_from_spec(())
+        with pytest.raises(ExecutorConfigError, match="unknown dataset"):
+            dataset_from_spec(("no-such-dataset",))
+        with pytest.raises(ExecutorConfigError, match="malformed"):
+            dataset_from_spec(("chipvqa", "by_category"))
+        with pytest.raises(ExecutorConfigError, match="unknown dataset op"):
+            dataset_from_spec(("chipvqa", "shuffle", "7"))
+
+    def test_ensure_picklable_names_the_culprit(self):
+        options = WorkerOptions(harness=lambda: None)  # lambdas don't pickle
+        with pytest.raises(ExecutorConfigError, match="worker options"):
+            ensure_picklable([], options)
+
+
+class TestGoldenCrossBackend:
+    """The tentpole acceptance pin: a full-zoo Table II sweep produces
+    byte-identical artifacts on every backend, with and without the
+    on-disk spill tier."""
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("spill", [False, True],
+                             ids=["nospill", "spill"])
+    def test_full_zoo_digest(self, backend, spill, tmp_path):
+        run_dir = tmp_path / "run"
+        spill_dir = tmp_path / "spill" if spill else None
+        if spill:
+            # cold in-memory caches, so the run actually exercises the
+            # disk tier instead of hitting memory warmed by earlier tests
+            perfstats.reset()
+        runner = ParallelRunner(workers=4, run_dir=run_dir,
+                                backend=backend, spill_dir=spill_dir)
+        results = run_table2(build_zoo(), runner=runner)
+        assert len(results) == 12
+        assert runner.last_stats is not None
+        assert runner.last_stats.completed == 24
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+        if spill:
+            caches = runner.last_stats.perf_caches
+            assert any(entry.get("spill_hits", 0)
+                       + entry.get("spill_misses", 0) > 0
+                       for entry in caches.values())
+
+    def test_spill_warm_start_shares_work(self, tmp_path):
+        """A second run over a warm spill directory serves perception
+        work from disk — and still reproduces the golden digest."""
+        spill_dir = tmp_path / "spill"
+        perfstats.reset()
+        first = ParallelRunner(workers=2, run_dir=tmp_path / "a",
+                               backend="process", spill_dir=spill_dir)
+        run_table2(["gpt-4o", "llava-7b"], runner=first)
+        perfstats.reset()  # forget memory; disk is the only warm tier
+        second = ParallelRunner(workers=2, run_dir=tmp_path / "b",
+                                backend="process", spill_dir=spill_dir)
+        run_table2(["gpt-4o", "llava-7b"], runner=second)
+        assert (run_dir_digest(tmp_path / "a")
+                == run_dir_digest(tmp_path / "b"))
+        caches = second.last_stats.perf_caches
+        assert sum(entry.get("spill_hits", 0)
+                   for entry in caches.values()) > 0
+
+
+class _KillEveryTime(FaultBoundary):
+    """SIGKILL the current process at every crossing of one scripted
+    key (a qid or ``unit_id::qid``) — a worker that can never survive
+    this unit (no latch, unlike
+    :class:`repro.core.faults.WorkerKillBoundary`)."""
+
+    def __init__(self, kill_on: str):
+        self.kill_on = kill_on
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if qid == self.kill_on or f"{unit_id}::{qid}" == self.kill_on:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestProcessFailureHandling:
+    def test_wedged_worker_is_killed_and_timed_out(self, chipvqa):
+        """A worker that wedges inside a model call (where cooperative
+        deadline checks cannot run) is killed at the parent-side hard
+        deadline and its unit recorded ``timed_out``."""
+        subset = chipvqa.by_category(Category.DIGITAL)
+        unit = WorkUnit(model=build_model("gpt-4o"), dataset=subset,
+                        setting=WITH_CHOICE)
+        runner = ParallelRunner(
+            workers=1,
+            backend=ProcessBackend(workers=1, hard_deadline_factor=2.0,
+                                   hard_deadline_grace=0.2),
+            fault_boundary=LatencyBoundary(per_question=60.0),
+            deadline_s=0.1)
+        outcome = runner.run([unit])
+        stats = runner.last_stats.unit(unit.unit_id)
+        assert stats.status == "timed_out"
+        assert "hard deadline" in (stats.error or "")
+        assert outcome.failures == {unit.unit_id: stats.error}
+
+    def test_persistent_killer_convicted_without_collateral(self, chipvqa):
+        """A unit whose worker dies on every attempt is recorded
+        ``failed`` after ``max_respawns`` solo re-runs; its siblings
+        complete normally."""
+        subset = chipvqa.by_category(Category.DIGITAL)
+        victim_qid = subset[0].qid
+        units = [WorkUnit(model=build_model(name), dataset=subset,
+                          setting=WITH_CHOICE)
+                 for name in ("gpt-4o", "llava-7b", "kosmos-2")]
+        runner = ParallelRunner(
+            workers=2,
+            backend=ProcessBackend(workers=2, max_respawns=2),
+            fault_boundary=_KillEveryTime(
+                f"{units[1].unit_id}::{victim_qid}"))
+        outcome = runner.run(units)
+        killer = runner.last_stats.unit(units[1].unit_id)
+        assert killer.status == "failed"
+        assert "WorkerCrash" in (killer.error or "")
+        assert killer.worker_respawns == 3  # initial + 2 respawns, all died
+        for survivor in (units[0], units[2]):
+            assert runner.last_stats.unit(survivor.unit_id).status == \
+                "completed"
+            assert len(outcome.results[survivor.unit_id]) == len(subset)
+        assert set(outcome.failures) == {units[1].unit_id}

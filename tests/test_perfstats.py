@@ -1,16 +1,23 @@
 """Tests for the cache-telemetry substrate (repro.core.perfstats)."""
 
+import json
 import threading
 
 import pytest
 
 from repro.core.perfstats import (
+    JSON_VALUE_CODEC,
     CacheStats,
     LruCache,
+    SpillStore,
     delta,
+    disable_spill,
+    enable_spill,
     get_cache,
+    merge_counters,
     register,
     snapshot,
+    spill_root,
     total,
 )
 
@@ -138,6 +145,120 @@ class TestRegistry:
 
         names = set(snapshot())
         assert {"render", "legibility", "perception", "dataset"} <= names
+
+
+class TestSpillStore:
+    def test_round_trip_and_content_addressing(self, tmp_path):
+        store = SpillStore(tmp_path, "probe", *JSON_VALUE_CODEC)
+        key = ("legibility", 1.5, "abc")
+        assert store.get(key) is None
+        store.put(key, 0.75)
+        assert store.get(key) == 0.75
+        # the path is a pure function of the key: a second store over
+        # the same root (another process, conceptually) sees the entry
+        sibling = SpillStore(tmp_path, "probe", *JSON_VALUE_CODEC)
+        assert sibling.get(key) == 0.75
+        assert sibling.path_for(key) == store.path_for(key)
+
+    def test_existing_entries_are_never_rewritten(self, tmp_path):
+        store = SpillStore(tmp_path, "probe", *JSON_VALUE_CODEC)
+        store.put("k", 1)
+        before = store.path_for("k").stat().st_mtime_ns
+        store.put("k", 2)  # ignored: entries are pure functions of keys
+        assert store.get("k") == 1
+        assert store.path_for("k").stat().st_mtime_ns == before
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        store = SpillStore(tmp_path, "probe", *JSON_VALUE_CODEC)
+        store.put("k", 5)
+        store.path_for("k").write_text("{torn", encoding="utf-8")
+        assert store.get("k", "fallback") == "fallback"
+
+    def test_undecodable_entry_degrades_to_miss(self, tmp_path):
+        def explode(payload):
+            raise ValueError("bad payload")
+
+        store = SpillStore(tmp_path, "probe", JSON_VALUE_CODEC[0], explode)
+        store.put("k", 5)
+        assert store.get("k") is None
+
+    def test_entries_are_json(self, tmp_path):
+        store = SpillStore(tmp_path, "probe", *JSON_VALUE_CODEC)
+        store.put(("a", 1), {"x": 1.5})
+        payload = json.loads(
+            store.path_for(("a", 1)).read_text(encoding="utf-8"))
+        assert payload == {"x": 1.5}
+
+
+class TestSpillTier:
+    def test_memory_miss_falls_through_and_promotes(self, tmp_path):
+        cache = LruCache(capacity=4, spill_codec=JSON_VALUE_CODEC)
+        cache.attach_spill(SpillStore(tmp_path, "t", *JSON_VALUE_CODEC))
+        cache.put("a", 1)          # write-through
+        cache.clear()              # drop memory, keep disk
+        assert cache.get("a") == 1  # served from disk, promoted
+        assert cache.peek("a") == 1  # now back in memory
+        assert cache.stats.snapshot() == {
+            "hits": 1, "misses": 0, "evictions": 0,
+            "spill_hits": 1, "spill_misses": 0}
+
+    def test_spill_miss_counts_once(self, tmp_path):
+        cache = LruCache(capacity=4, spill_codec=JSON_VALUE_CODEC)
+        cache.attach_spill(SpillStore(tmp_path, "t", *JSON_VALUE_CODEC))
+        assert cache.get("nope") is None
+        assert cache.stats.snapshot() == {
+            "hits": 0, "misses": 1, "evictions": 0,
+            "spill_hits": 0, "spill_misses": 1}
+
+    def test_snapshot_stays_stable_without_spill_traffic(self):
+        """Spill counters must not appear for spill-free configurations
+        (run manifests pin the exact counter shape)."""
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        assert set(cache.stats.snapshot()) == {"hits", "misses",
+                                               "evictions"}
+
+    def test_detach_leaves_disk_entries(self, tmp_path):
+        cache = LruCache(capacity=4, spill_codec=JSON_VALUE_CODEC)
+        store = SpillStore(tmp_path, "t", *JSON_VALUE_CODEC)
+        cache.attach_spill(store)
+        cache.put("a", 1)
+        cache.detach_spill()
+        cache.clear()
+        assert cache.spill is None
+        assert cache.get("a") is None      # memory-only lookup now
+        assert store.get("a") == 1          # disk entry untouched
+
+    def test_enable_spill_attaches_codec_capable_caches(self, tmp_path):
+        name = "test-spill-enable-probe"
+        capable = LruCache(capacity=4, name=name,
+                           spill_codec=JSON_VALUE_CODEC)
+        incapable = LruCache(capacity=4, name=name + "-nocodec")
+        try:
+            attached = enable_spill(tmp_path)
+            assert name in attached
+            assert name + "-nocodec" not in attached
+            assert capable.spill is not None
+            assert incapable.spill is None
+            assert spill_root() == str(tmp_path)
+        finally:
+            disable_spill()
+        assert capable.spill is None
+        assert spill_root() is None
+
+
+class TestMergeCounters:
+    def test_counters_add_and_size_takes_max(self):
+        into = {"c": {"hits": 2, "size": 5}}
+        merge_counters(into, {"c": {"hits": 3, "misses": 1, "size": 4},
+                              "d": {"hits": 7}})
+        assert into == {"c": {"hits": 5, "misses": 1, "size": 5},
+                        "d": {"hits": 7}}
+
+    def test_returns_into_for_chaining(self):
+        into = {}
+        assert merge_counters(into, {"c": {"hits": 1}}) is into
 
 
 class TestDeltaAndTotal:

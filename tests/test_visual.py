@@ -102,6 +102,119 @@ class TestCanvas:
         assert clone.ink_fraction() == 0.0
 
 
+def _ref_text(canvas, x, y, message, ink=BLACK, scale=1):
+    """The seed repo's scalar ``text`` loop, kept as the byte-level oracle
+    for the vectorized glyph blit."""
+    cursor = x
+    for character in message:
+        bitmap = glyph_bitmap(character)
+        for row, bits in enumerate(bitmap):
+            for col, bit in enumerate(bits):
+                if bit:
+                    if scale == 1:
+                        canvas.set_pixel(cursor + col, y + row, ink)
+                    else:
+                        canvas.fill_rect(cursor + col * scale,
+                                         y + row * scale, scale, scale, ink)
+        cursor += (GLYPH_WIDTH + 1) * scale
+
+
+def _ref_circle(canvas, cx, cy, radius, ink=BLACK, thickness=1):
+    """The seed repo's scalar midpoint-circle loop (byte-level oracle)."""
+    x, y = radius, 0
+    err = 1 - radius
+    while x >= y:
+        for px, py in (
+            (cx + x, cy + y), (cx - x, cy + y),
+            (cx + x, cy - y), (cx - x, cy - y),
+            (cx + y, cy + x), (cx - y, cy + x),
+            (cx + y, cy - x), (cx - y, cy - x),
+        ):
+            canvas._stroke_point(px, py, ink, thickness)
+        y += 1
+        if err < 0:
+            err += 2 * y + 1
+        else:
+            x -= 1
+            err += 2 * (y - x) + 1
+
+
+def _ref_hatch_rect(canvas, x, y, width, height, ink=BLACK, pitch=6):
+    """The seed repo's scalar ``hatch_rect`` loop (byte-level oracle)."""
+    canvas.rect(x, y, width, height, ink)
+    for offset in range(-height, width, pitch):
+        x0 = x + max(0, offset)
+        y0 = y + max(0, -offset)
+        length = min(width - max(0, offset), height - max(0, -offset))
+        if length > 0:
+            canvas.line(x0, y0, x0 + length, y0 + length, ink)
+
+
+class TestVectorizedKernels:
+    """The numpy-kernel rewrites of ``text``/``circle``/``hatch_rect``
+    must stay byte-identical to the original per-pixel loops — renders
+    feed content-addressed caches and golden run digests, so a single
+    drifted pixel would silently invalidate every pinned artifact."""
+
+    @given(x=st.integers(-20, 70), y=st.integers(-15, 40),
+           scale=st.integers(1, 3), ink=st.integers(0, 254),
+           message=st.text(
+               alphabet="ABXZ09 .-+Ωµ%?abz€", min_size=0, max_size=6))
+    def test_text_matches_scalar_reference(self, x, y, scale, ink, message):
+        fast, slow = Canvas(64, 48), Canvas(64, 48)
+        fast.text(x, y, message, ink, scale)
+        _ref_text(slow, x, y, message, ink, scale)
+        assert (fast.pixels == slow.pixels).all()
+
+    @given(cx=st.integers(-10, 70), cy=st.integers(-10, 55),
+           radius=st.integers(0, 40), thickness=st.integers(1, 5),
+           ink=st.integers(0, 254))
+    def test_circle_matches_scalar_reference(self, cx, cy, radius,
+                                             thickness, ink):
+        fast, slow = Canvas(60, 45), Canvas(60, 45)
+        fast.circle(cx, cy, radius, ink, thickness)
+        _ref_circle(slow, cx, cy, radius, ink, thickness)
+        assert (fast.pixels == slow.pixels).all()
+
+    @given(x=st.integers(-10, 55), y=st.integers(-10, 40),
+           width=st.integers(0, 50), height=st.integers(0, 40),
+           pitch=st.integers(1, 9), ink=st.integers(0, 254))
+    def test_hatch_rect_matches_scalar_reference(self, x, y, width,
+                                                 height, pitch, ink):
+        fast, slow = Canvas(56, 42), Canvas(56, 42)
+        fast.hatch_rect(x, y, width, height, ink, pitch)
+        _ref_hatch_rect(slow, x, y, width, height, ink, pitch)
+        assert (fast.pixels == slow.pixels).all()
+
+    def test_text_clips_like_set_pixel(self):
+        canvas = Canvas(8, 8)
+        canvas.text(-3, -2, "WW", scale=2)  # mostly off-canvas
+        slow = Canvas(8, 8)
+        _ref_text(slow, -3, -2, "WW", scale=2)
+        assert (canvas.pixels == slow.pixels).all()
+
+    def test_seed_raster_digest_pinned(self):
+        """Every rendered visual in the standard collection, chained into
+        one digest captured from the pre-vectorization seed renderer."""
+        import hashlib
+
+        from repro.core.benchmark import build_chipvqa
+
+        digest = hashlib.sha256()
+        count = 0
+        for question in sorted(build_chipvqa().questions,
+                               key=lambda q: q.qid):
+            for visual in question.all_visuals:
+                if visual.render_spec:
+                    digest.update(content_key(visual).encode("utf-8"))
+                    digest.update(render(visual, use_cache=False).tobytes())
+                    count += 1
+        assert count == 144
+        assert digest.hexdigest() == (
+            "9088b2c7f3c233f06fe6eb2afbc589701bd4227cf75914cd4a0468a2e3514230"
+        )
+
+
 class TestGlyphs:
     def test_dimensions(self):
         for ch in "A9+ ":
