@@ -63,20 +63,51 @@ def _print_cache_stats(stats=None) -> None:
               f"{spill:>7}{rate:>10.3f}")
 
 
-def _effective_workers(requested: int) -> int:
+def _effective_workers(requested: int,
+                       backend: Optional[str] = None) -> int:
     """Clamp ``--workers`` to this machine's CPU count, with a warning.
 
-    More workers than cores cannot help any backend — threads are
-    GIL-bound and processes core-bound — but oversubscription does
-    churn context switches, so requests beyond ``os.cpu_count()`` are
-    clamped.  Values below 1 are raised to 1.
+    More workers than cores cannot help the thread or process backends
+    — threads are GIL-bound and processes core-bound — but
+    oversubscription does churn context switches, so requests beyond
+    ``os.cpu_count()`` are clamped.  The async backend is exempt: its
+    workers are in-flight coroutines bounded by the endpoint's request
+    budget, not by cores, so ``--backend async --workers 64`` is a
+    legitimate configuration on a single-core machine.  Values below 1
+    are raised to 1.
     """
+    if backend == "async":
+        return max(1, requested)
     cpus = os.cpu_count() or 1
     if requested > cpus:
         print(f"warning: --workers {requested} exceeds this machine's "
               f"{cpus} CPU(s); using {cpus}")
         return cpus
     return max(1, requested)
+
+
+def _build_backend(args: argparse.Namespace):
+    """Resolve ``--backend``/``--rate-limit``/``--hedge-after`` to the
+    runner's backend argument.
+
+    A bare ``--backend`` passes through as a name; the async-only
+    scheduling knobs build an explicit
+    :class:`~repro.core.executor.AsyncBackend` carrying them.  Giving
+    those knobs without ``--backend async`` is a configuration error —
+    the sync backends have no scheduler to honour them — and fails
+    fast rather than being silently ignored.
+    """
+    rate = getattr(args, "rate_limit", None)
+    hedge = getattr(args, "hedge_after", None)
+    if rate is None and hedge is None:
+        return args.backend
+    if args.backend != "async":
+        raise SystemExit(
+            "--rate-limit and --hedge-after require --backend async")
+    from repro.core.executor import AsyncBackend
+
+    return AsyncBackend(_effective_workers(args.workers, "async"),
+                        rate_limit_per_s=rate, hedge_after_s=hedge)
 
 
 def _print_resilience_warnings(stats) -> None:
@@ -137,14 +168,15 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         models = build_zoo()
     models = [_wrap_provider(provider, args) for provider in models]
     runner = ParallelRunner(
-        harness=harness, workers=_effective_workers(args.workers),
+        harness=harness,
+        workers=_effective_workers(args.workers, args.backend),
         run_dir=args.run_dir,
         resume=not args.no_resume,
         quarantine=QuarantinePolicy() if args.quarantine else None,
         breaker=(CircuitBreaker(args.breaker)
                  if args.breaker is not None else None),
         deadline_s=args.deadline,
-        backend=args.backend,
+        backend=_build_backend(args),
         spill_dir=args.spill_dir)
     results = run_table2(models, harness, runner=runner)
     print(render_table2(results, dict(TABLE2_ROW_ORDER)))
@@ -199,9 +231,10 @@ def _cmd_resolution(args: argparse.Namespace) -> int:
 
     harness = EvaluationHarness()
     category = _category_by_short(args.category)
-    runner = ParallelRunner(harness=harness,
-                            workers=_effective_workers(args.workers),
-                            backend=args.backend)
+    runner = ParallelRunner(
+        harness=harness,
+        workers=_effective_workers(args.workers, args.backend),
+        backend=args.backend)
     study = harness.resolution_study(
         build_model(args.model), category=category,
         factors=tuple(args.factors), runner=runner)
@@ -350,13 +383,27 @@ def build_parser() -> argparse.ArgumentParser:
                          "the runner's retry path")
     p2.add_argument("--workers", type=int, default=1,
                     help="parallel evaluation workers (1 = serial; "
-                         "clamped to this machine's CPU count)")
-    p2.add_argument("--backend", choices=["serial", "thread", "process"],
+                         "clamped to this machine's CPU count except "
+                         "under --backend async)")
+    p2.add_argument("--backend",
+                    choices=["serial", "thread", "process", "async"],
                     default=None,
-                    help="execution backend: serial, thread pool, or "
-                         "process pool for true multicore scaling "
-                         "(default: serial at --workers 1, thread "
-                         "otherwise; see docs/RUNNER.md)")
+                    help="execution backend: serial, thread pool, "
+                         "process pool for true multicore scaling, or "
+                         "an asyncio event loop for the API-bound "
+                         "regime (default: serial at --workers 1, "
+                         "thread otherwise; see docs/RUNNER.md)")
+    p2.add_argument("--rate-limit", type=float, default=None,
+                    metavar="R",
+                    help="client-side per-provider request budget in "
+                         "calls/second; the async scheduler paces "
+                         "dispatches under it (requires --backend "
+                         "async)")
+    p2.add_argument("--hedge-after", type=float, default=None,
+                    metavar="S",
+                    help="duplicate a provider call still in flight "
+                         "after S seconds, first success wins (tail-"
+                         "latency hedging; requires --backend async)")
     p2.add_argument("--spill-dir", default=None, metavar="DIR",
                     help="content-addressed on-disk cache tier shared "
                          "by worker processes (and across runs); see "
@@ -392,7 +439,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--workers", type=int, default=1,
                     help="evaluate resolution factors in parallel "
                          "(clamped to this machine's CPU count)")
-    pr.add_argument("--backend", choices=["serial", "thread", "process"],
+    pr.add_argument("--backend",
+                    choices=["serial", "thread", "process", "async"],
                     default=None,
                     help="execution backend (see table2 --backend)")
     pr.add_argument("--cache-stats", action="store_true",

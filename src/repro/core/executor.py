@@ -10,7 +10,14 @@ by the GIL no matter how many workers it has.  This module gives
   space (the historical ``workers=N`` path; right for latency-bound
   remote providers);
 * :class:`ProcessBackend` — a ``ProcessPoolExecutor`` fanning units out
-  across cores for true multicore scaling on CPU-bound sweeps.
+  across cores for true multicore scaling on CPU-bound sweeps;
+* :class:`AsyncBackend` — a single asyncio event loop holding many
+  provider calls in flight at once: the API-bound regime (remote
+  endpoints), where concurrency is bounded by the provider's request
+  budget rather than cores.  Built on the async provider seam
+  (:mod:`repro.models.providers`): sync providers adapt via
+  ``as_async_provider``, and an ``AsyncCallScheduler`` adds
+  per-provider token-bucket pacing and hedged requests.
 
 Processes cannot share live objects, so the process backend ships each
 unit as a picklable :class:`UnitSpec` — a provider *registry name* (or,
@@ -32,6 +39,7 @@ killed and its unit recorded ``timed_out``.  See ``docs/RUNNER.md``.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import pickle
 import time
@@ -47,6 +55,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Awaitable,
     Callable,
     Deque,
     Dict,
@@ -65,13 +74,18 @@ from repro.core.resilience import (
     DeadlineExceeded,
     QuarantinePolicy,
 )
-from repro.models.providers import create_provider, provider_names
+from repro.models.providers import (
+    AsyncCallScheduler,
+    HedgePolicy,
+    create_provider,
+    provider_names,
+)
 
 if TYPE_CHECKING:  # runtime imports are deferred: runner imports us
     from repro.core.runner import RetryPolicy, WorkUnit
 
 #: Names accepted by :func:`create_backend` (and ``--backend``).
-BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process", "async")
 
 
 class ExecutorConfigError(ValueError):
@@ -556,8 +570,106 @@ class ProcessBackend:
             pool.shutdown(wait=False, cancel_futures=True)
 
 
-#: Any of the three concrete backends.
-ExecutionBackend = Union[SerialBackend, ThreadBackend, ProcessBackend]
+class AsyncBackend:
+    """Drive units as coroutines on one asyncio event loop.
+
+    The backend for the API-bound regime: evaluation work per unit is
+    tiny next to a remote call's round-trip, so one event loop holding
+    ``workers`` units in flight matches a thread pool's throughput at a
+    fraction of the footprint — and, unlike threads, ``workers`` may
+    far exceed the core count (concurrency is bounded by the endpoint's
+    request budget, not the GIL).
+
+    The backend owns the scheduling policy the async provider seam
+    offers: ``rate_limit_per_s``/``rate_burst`` build per-provider
+    token buckets the scheduler *awaits* before dispatching (client-
+    side pacing), and ``hedge_after_s``/``max_hedges`` duplicate
+    straggling calls, first success wins.  :meth:`make_scheduler`
+    builds one fresh :class:`AsyncCallScheduler` per run so telemetry
+    never bleeds across runs.
+
+    Determinism is unchanged: the runner's cache/cohort/judge pipeline
+    is the same code path the sync backends share, so artifacts stay
+    byte-identical (pinned by the cross-backend golden-digest test).
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        workers: int,
+        rate_limit_per_s: Optional[float] = None,
+        rate_burst: Optional[int] = None,
+        hedge_after_s: Optional[float] = None,
+        max_hedges: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if rate_limit_per_s is not None and rate_limit_per_s <= 0:
+            raise ValueError("rate_limit_per_s must be > 0")
+        if hedge_after_s is not None and hedge_after_s < 0:
+            raise ValueError("hedge_after_s must be >= 0")
+        if max_hedges < 1:
+            raise ValueError("max_hedges must be >= 1")
+        self.workers = workers
+        self.rate_limit_per_s = rate_limit_per_s
+        self.rate_burst = rate_burst
+        self.hedge_after_s = hedge_after_s
+        self.max_hedges = max_hedges
+        #: scheduler of the most recent run (telemetry for summaries)
+        self.last_scheduler: Optional[AsyncCallScheduler] = None
+
+    def make_scheduler(self) -> AsyncCallScheduler:
+        """A fresh per-run scheduler carrying this backend's policy."""
+        hedge = (HedgePolicy(self.hedge_after_s, self.max_hedges)
+                 if self.hedge_after_s is not None else None)
+        scheduler = AsyncCallScheduler(
+            rate_limit_per_s=self.rate_limit_per_s,
+            rate_burst=self.rate_burst,
+            hedge=hedge)
+        self.last_scheduler = scheduler
+        return scheduler
+
+    def map_units(self, units: Sequence[Any],
+                  fn: Callable[[Any], Awaitable[Any]]) -> List[Any]:
+        """Run ``fn`` (an async callable) over every unit on one loop.
+
+        At most ``workers`` units run concurrently (semaphore-bounded);
+        results come back in submission order.  An unexpected exception
+        (anything the runner's evaluation path did not absorb — e.g. an
+        injected crash from the chaos harness) propagates to the
+        caller and *stops the world*: sibling tasks are cancelled
+        before they can keep completing (and checkpointing) past the
+        failure, matching what a process death leaves behind.  The
+        ``sleep(0)`` after admission pins a suspension point at the
+        start of every unit, so cancellation can land even on units
+        whose evaluation never otherwise yields (zero simulated
+        latency).
+        """
+        async def main() -> List[Any]:
+            semaphore = asyncio.Semaphore(self.workers)
+
+            async def guarded(unit: Any) -> Any:
+                async with semaphore:
+                    await asyncio.sleep(0)
+                    return await fn(unit)
+
+            tasks = [asyncio.ensure_future(guarded(unit))
+                     for unit in units]
+            try:
+                return list(await asyncio.gather(*tasks))
+            except BaseException:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                raise
+
+        return asyncio.run(main())
+
+
+#: Any of the four concrete backends.
+ExecutionBackend = Union[SerialBackend, ThreadBackend, ProcessBackend,
+                         AsyncBackend]
 
 
 def create_backend(name: str, workers: int) -> ExecutionBackend:
@@ -568,6 +680,8 @@ def create_backend(name: str, workers: int) -> ExecutionBackend:
         return ThreadBackend(workers)
     if name == "process":
         return ProcessBackend(workers)
+    if name == "async":
+        return AsyncBackend(workers)
     raise ExecutorConfigError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
 

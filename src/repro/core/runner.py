@@ -46,6 +46,7 @@ produce byte-identical JSONL artifacts.  See ``docs/RUNNER.md`` and
 
 from __future__ import annotations
 
+import asyncio
 import json
 import re
 import threading
@@ -77,7 +78,10 @@ from repro.core.resilience import (
 )
 from repro.core.runcache import RunCache, cohort_digest, question_key
 from repro.models.providers import (
+    AsyncCallScheduler,
+    ModelAnswer,
     ModelProvider,
+    as_async_provider,
     as_provider,
     create_provider,
 )
@@ -463,6 +467,16 @@ class ParallelRunner:
             if is_process:
                 if pending:
                     self._run_process(pending, units, stats, collected)
+            elif isinstance(self.backend, executor_mod.AsyncBackend):
+                if pending:
+                    scheduler = self.backend.make_scheduler()
+                    results = self.backend.map_units(
+                        pending,
+                        lambda u: self._execute_async(
+                            u, units, stats, scheduler))
+                    for unit, result in zip(pending, results):
+                        if result is not None:
+                            collected[unit.unit_id] = result
             elif (isinstance(self.backend, executor_mod.ThreadBackend)
                     and len(pending) > 1):
                 results = self.backend.map_units(
@@ -605,8 +619,12 @@ class ParallelRunner:
         assert isinstance(self.backend, executor_mod.ProcessBackend)
         self.backend.run_units(items, options, should_submit, on_result)
 
-    def _execute(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
-                 stats: RunStats) -> Optional[EvalResult]:
+    def _begin_unit(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
+                    stats: RunStats
+                    ) -> "Optional[tuple[UnitStats, str, Optional[Deadline]]]":
+        """Shared unit prologue: depth bookkeeping, breaker admission,
+        deadline/watchdog registration.  Returns ``None`` when the
+        breaker fast-fails the unit (already recorded)."""
         unit_stats = stats.unit(unit.unit_id)
         with self._depth_lock:
             self._not_started -= 1
@@ -627,21 +645,18 @@ class ParallelRunner:
             deadline = Deadline(self.deadline_s, clock=self._clock)
             if self._watchdog is not None:
                 self._watchdog.register(unit.unit_id, deadline, unit_stats)
-        start = time.perf_counter()
-        perf_before = perfstats.snapshot()
-        result: Optional[EvalResult] = None
-        error: Optional[BaseException] = None
-        timed_out = False
-        try:
-            result = self._evaluate_with_retry(unit, unit_stats, deadline)
-        except DeadlineExceeded as exc:
-            error = exc
-            timed_out = True
-        except ModelCallError as exc:
-            error = exc
-        finally:
-            if self._watchdog is not None:
-                self._watchdog.unregister(unit.unit_id)
+        return unit_stats, model_key, deadline
+
+    def _finish_unit(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
+                     stats: RunStats, unit_stats: UnitStats, model_key: str,
+                     result: Optional[EvalResult],
+                     error: Optional[BaseException], timed_out: bool,
+                     start: float,
+                     perf_before: Dict[str, Dict[str, int]]
+                     ) -> Optional[EvalResult]:
+        """Shared unit epilogue: telemetry, checkpoint, breaker record,
+        manifest write — identical across sync and async execution,
+        which is what keeps their artifacts byte-identical."""
         unit_stats.wall_time_s = time.perf_counter() - start
         # Substrate-cache movement while this unit ran.  The perfstats
         # counters are process-global, so under parallel workers the
@@ -677,6 +692,63 @@ class ParallelRunner:
         self._write_manifest(all_units, stats)
         return result
 
+    def _execute(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
+                 stats: RunStats) -> Optional[EvalResult]:
+        begun = self._begin_unit(unit, all_units, stats)
+        if begun is None:
+            return None
+        unit_stats, model_key, deadline = begun
+        start = time.perf_counter()
+        perf_before = perfstats.snapshot()
+        result: Optional[EvalResult] = None
+        error: Optional[BaseException] = None
+        timed_out = False
+        try:
+            result = self._evaluate_with_retry(unit, unit_stats, deadline)
+        except DeadlineExceeded as exc:
+            error = exc
+            timed_out = True
+        except ModelCallError as exc:
+            error = exc
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.unregister(unit.unit_id)
+        return self._finish_unit(unit, all_units, stats, unit_stats,
+                                 model_key, result, error, timed_out,
+                                 start, perf_before)
+
+    async def _execute_async(self, unit: WorkUnit,
+                             all_units: Sequence[WorkUnit], stats: RunStats,
+                             scheduler: Optional[AsyncCallScheduler] = None
+                             ) -> Optional[EvalResult]:
+        """Async twin of :meth:`_execute` for the asyncio backend: same
+        prologue/epilogue helpers, same status classification — only
+        the evaluation await differs, so breaker, deadline, quarantine
+        and resume semantics are preserved verbatim."""
+        begun = self._begin_unit(unit, all_units, stats)
+        if begun is None:
+            return None
+        unit_stats, model_key, deadline = begun
+        start = time.perf_counter()
+        perf_before = perfstats.snapshot()
+        result: Optional[EvalResult] = None
+        error: Optional[BaseException] = None
+        timed_out = False
+        try:
+            result = await self._evaluate_with_retry_async(
+                unit, unit_stats, deadline, scheduler)
+        except DeadlineExceeded as exc:
+            error = exc
+            timed_out = True
+        except ModelCallError as exc:
+            error = exc
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.unregister(unit.unit_id)
+        return self._finish_unit(unit, all_units, stats, unit_stats,
+                                 model_key, result, error, timed_out,
+                                 start, perf_before)
+
     def _evaluate_with_retry(self, unit: WorkUnit, unit_stats: UnitStats,
                              deadline: Optional[Deadline] = None
                              ) -> EvalResult:
@@ -698,15 +770,47 @@ class ParallelRunner:
             f"{unit.unit_id}: transient fault persisted through "
             f"{self.retry.max_attempts} attempts: {last}")
 
-    def _attempt_unit(self, unit: WorkUnit, unit_stats: UnitStats,
-                      deadline: Optional[Deadline] = None) -> EvalResult:
-        """One evaluation attempt; cache-aware, fault-boundary-guarded.
+    async def _evaluate_with_retry_async(
+            self, unit: WorkUnit, unit_stats: UnitStats,
+            deadline: Optional[Deadline] = None,
+            scheduler: Optional[AsyncCallScheduler] = None) -> EvalResult:
+        """Async twin of :meth:`_evaluate_with_retry`: same attempt
+        budget and fault classification, but backoff suspends the
+        coroutine instead of blocking the loop."""
+        last: Optional[TransientModelError] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            unit_stats.attempts = attempt
+            try:
+                return await self._attempt_unit_async(
+                    unit, unit_stats, deadline, scheduler)
+            except TransientModelError as exc:
+                last = exc
+                if attempt == self.retry.max_attempts:
+                    break
+                if deadline is not None:
+                    # an overdue unit must not burn more backoff time
+                    deadline.check(unit.unit_id)
+                unit_stats.retries += 1
+                await self._backoff_async(self.retry.delay(attempt))
+        raise TransientModelError(
+            f"{unit.unit_id}: transient fault persisted through "
+            f"{self.retry.max_attempts} attempts: {last}")
 
-        The outcome plan is always computed over the unit's *full*
-        question list (quota-IRT realises correctness per category over
-        its members), so partially-cached attempts stay byte-identical
-        to uncached ones.
-        """
+    async def _backoff_async(self, delay: float) -> None:
+        """Retry backoff on the event loop.  A real (default) sleep
+        becomes ``asyncio.sleep`` so sibling units keep running; an
+        injected test sleep (no-op, fault-counting, …) is honoured
+        as-is so existing fixtures drive both paths."""
+        if self._sleep is time.sleep:
+            await asyncio.sleep(delay)
+        else:
+            self._sleep(delay)
+
+    # -- the per-attempt pipeline (shared sync/async) -------------------------
+
+    def _attempt_context(self, unit: WorkUnit):
+        """Everything one attempt derives from the unit up front:
+        (use_raster, provider, fingerprint, questions, cohorts)."""
         use_raster = (self.harness.use_raster if unit.use_raster is None
                       else unit.use_raster)
         provider = unit.provider
@@ -719,6 +823,50 @@ class ParallelRunner:
             category: cohort_digest(members)
             for category, members in by_category.items()
         }
+        return use_raster, provider, fingerprint, questions, cohorts
+
+    def _judge_or_quarantine(self, unit: WorkUnit, unit_stats: UnitStats,
+                             question: Question,
+                             answer: ModelAnswer) -> EvalRecord:
+        """Judge one answer behind the fault boundary, salvaging the
+        question as quarantined when policy admits it."""
+        try:
+            if self.fault_boundary is not None:
+                self.fault_boundary(unit.unit_id, question.qid)
+            return self.harness.judge_answer(question, answer)
+        except PermanentError:
+            if (self.quarantine is None
+                    or not self.quarantine.admit(unit_stats.quarantined)):
+                raise
+            # salvage the unit: mark this question quarantined
+            # (deterministically incorrect) and keep going
+            unit_stats.quarantined += 1
+            return quarantined_record(question)
+
+    def _result_from_records(self, unit: WorkUnit,
+                             records: List[EvalRecord]) -> EvalResult:
+        """Assemble the unit's :class:`EvalResult` in question order."""
+        result = EvalResult(
+            model_name=unit.model.name,
+            dataset_name=unit.dataset.name,
+            setting=unit.setting,
+            resolution_factor=unit.resolution_factor,
+        )
+        for record in records:
+            result.add(record)
+        return result
+
+    def _attempt_unit(self, unit: WorkUnit, unit_stats: UnitStats,
+                      deadline: Optional[Deadline] = None) -> EvalResult:
+        """One evaluation attempt; cache-aware, fault-boundary-guarded.
+
+        The outcome plan is always computed over the unit's *full*
+        question list (quota-IRT realises correctness per category over
+        its members), so partially-cached attempts stay byte-identical
+        to uncached ones.
+        """
+        (use_raster, provider, fingerprint,
+         questions, cohorts) = self._attempt_context(unit)
         answers = None
         records: List[EvalRecord] = []
         for question in questions:
@@ -748,30 +896,62 @@ class ParallelRunner:
                         questions, unit.setting, unit.resolution_factor,
                         use_raster=use_raster)
                 }
-            try:
-                if self.fault_boundary is not None:
-                    self.fault_boundary(unit.unit_id, question.qid)
-                record = self.harness.judge_answer(
-                    question, answers[question.qid])
-            except PermanentError:
-                if (self.quarantine is None
-                        or not self.quarantine.admit(unit_stats.quarantined)):
-                    raise
-                # salvage the unit: mark this question quarantined
-                # (deterministically incorrect) and keep going
-                unit_stats.quarantined += 1
-                record = quarantined_record(question)
+            record = self._judge_or_quarantine(unit, unit_stats, question,
+                                               answers[question.qid])
             self.cache.put(key, record)
             records.append(record)
-        result = EvalResult(
-            model_name=unit.model.name,
-            dataset_name=unit.dataset.name,
-            setting=unit.setting,
-            resolution_factor=unit.resolution_factor,
-        )
-        for record in records:
-            result.add(record)
-        return result
+        return self._result_from_records(unit, records)
+
+    async def _attempt_unit_async(
+            self, unit: WorkUnit, unit_stats: UnitStats,
+            deadline: Optional[Deadline] = None,
+            scheduler: Optional[AsyncCallScheduler] = None) -> EvalResult:
+        """Async twin of :meth:`_attempt_unit`.
+
+        Identical cache keys, cohort digests, deadline crossings and
+        judging — the one divergence is the whole-unit model call,
+        which is awaited (through the scheduler's rate pacing and
+        hedging when one is configured) so sibling units overlap the
+        endpoint round-trip.  The unit's question list still travels in
+        a single provider call: quota-IRT outcome planning is
+        cohort-dependent, so splitting it would break byte-identity.
+        """
+        (use_raster, provider, fingerprint,
+         questions, cohorts) = self._attempt_context(unit)
+        answers = None
+        records: List[EvalRecord] = []
+        for question in questions:
+            key = question_key(provider.name, question, unit.setting,
+                               unit.resolution_factor, use_raster,
+                               cohorts[question.category],
+                               provider_fingerprint=fingerprint)
+            cached = self.cache.get(key)
+            if cached is not None:
+                unit_stats.cache_hits += 1
+                records.append(cached)
+                continue
+            unit_stats.cache_misses += 1
+            if deadline is not None:
+                # the deadline-aware boundary crossing: an overdue unit
+                # resolves as timed_out at the next question, not after
+                # grinding through the remainder of the list
+                deadline.check(unit.unit_id, question.qid)
+            if answers is None:
+                if scheduler is not None:
+                    batch = await scheduler.call(
+                        provider, questions, unit.setting,
+                        unit.resolution_factor, use_raster=use_raster)
+                else:
+                    batch = await as_async_provider(
+                        provider).answer_batch_async(
+                            questions, unit.setting, unit.resolution_factor,
+                            use_raster=use_raster)
+                answers = {answer.qid: answer for answer in batch}
+            record = self._judge_or_quarantine(unit, unit_stats, question,
+                                               answers[question.qid])
+            self.cache.put(key, record)
+            records.append(record)
+        return self._result_from_records(unit, records)
 
     # -- checkpointing -------------------------------------------------------
 

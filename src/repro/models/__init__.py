@@ -7,11 +7,18 @@ from repro.models.irt import OutcomePlan, aptitude, plan_outcomes, quota
 from repro.models.llm import LlmBackbone
 from repro.models.projector import Projector
 from repro.models.providers import (
+    AsyncCallScheduler,
+    AsyncModelProvider,
+    AsyncProviderAdapter,
     BatchingProvider,
+    ContinuousBatcher,
+    HedgePolicy,
     LocalProvider,
     ModelProvider,
     ProviderRegistry,
     RemoteStubProvider,
+    TokenBucket,
+    as_async_provider,
     as_provider,
     create_provider,
     default_registry,
@@ -38,10 +45,17 @@ from repro.models.zoo import (
 __all__ = [
     "VisualEncoder",
     "ModelProvider",
+    "AsyncModelProvider",
+    "AsyncProviderAdapter",
+    "AsyncCallScheduler",
+    "ContinuousBatcher",
+    "HedgePolicy",
+    "TokenBucket",
     "LocalProvider",
     "RemoteStubProvider",
     "BatchingProvider",
     "ProviderRegistry",
+    "as_async_provider",
     "as_provider",
     "create_provider",
     "default_registry",

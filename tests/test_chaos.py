@@ -21,7 +21,7 @@ from repro.core.question import Category
 from repro.core.resilience import QUARANTINED_METHOD, QuarantinePolicy
 from repro.core.runner import ParallelRunner, RetryPolicy, WorkUnit
 from repro.judge import FaultInjectingJudge, HybridJudge
-from repro.models import WITH_CHOICE, build_model
+from repro.models import WITH_CHOICE, RemoteStubProvider, build_model
 
 
 def _units(chipvqa, model_names=("gpt-4o", "llava-7b", "kosmos-2")):
@@ -289,6 +289,112 @@ class TestChaosConvergence:
 
         # ...and a single flipped byte is caught
         victim = chaos_dir / f"{units[2].unit_id}.jsonl"
+        original = victim.read_bytes()
+        victim.write_bytes(original.replace(b'"correct"', b'"cXrrect"', 1))
+        broken = results_io.verify_run(chaos_dir)
+        assert not broken.ok
+        statuses = {f.name: f.status for f in broken.files}
+        assert statuses[victim.name] == "corrupt"
+        victim.write_bytes(original)
+        assert results_io.verify_run(chaos_dir).ok
+
+
+class TestAsyncChaosConvergence:
+    """Chaos at the async-backend layer: transient transport faults
+    and simulated-429 rate-limit rejections land mid-flight on the
+    event loop, a crash and a silent torn write hit the checkpoint
+    layer — and the relaunch loop still converges to artifacts
+    byte-identical to a fault-free run, vouched by ``verify-run``."""
+
+    def _stub_units(self, chipvqa, **stub_kwargs):
+        """Three Table II units over fault-injecting remote stubs."""
+        subset = chipvqa.by_category(Category.DIGITAL)
+        units = []
+        for name in ("gpt-4o", "llava-7b", "kosmos-2"):
+            stub = RemoteStubProvider(build_model(name),
+                                      sleep=lambda d: None,
+                                      **stub_kwargs)
+            units.append(WorkUnit(model=stub, dataset=subset,
+                                  setting=WITH_CHOICE))
+        return units
+
+    def test_async_chaos_run_converges_to_clean_artifacts(
+            self, chipvqa, tmp_path):
+        # Server-side budget: burst of 1 with a scripted clock that
+        # advances 20 ms per observation, so every retry loop must eat
+        # a string of simulated 429s before the bucket refills.
+        ticker = {"now": 0.0}
+
+        def ticking_clock():
+            ticker["now"] += 0.02
+            return ticker["now"]
+
+        units = self._stub_units(
+            chipvqa, transient_rate=1.0, transient_failures=2, seed=7,
+            rate_limit_per_s=10.0, rate_limit_burst=1,
+            rate_clock=ticking_clock)
+        writer = ChaosCheckpointWriter(crash_on={units[0].unit_id},
+                                       tear_on={units[2].unit_id})
+        chaos_dir = tmp_path / "chaos"
+
+        launches = 0
+        outcome = None
+        for _ in range(8):  # relaunch loop: each pass is a "process"
+            launches += 1
+            # one in-flight unit keeps the crash/tear schedule
+            # deterministic (the loop admits units in order)
+            runner = ParallelRunner(
+                workers=1, backend="async", run_dir=chaos_dir,
+                retry=RetryPolicy(max_attempts=25, base_delay=0.0),
+                sleep=lambda d: None,
+                checkpoint_writer=writer)
+            try:
+                outcome = runner.run(units)
+            except SimulatedCrash:
+                continue  # the "process" died; relaunch resumes
+            if (not writer.pending()
+                    and outcome.stats.corrupt_checkpoints == 0
+                    and outcome.stats.stale_checkpoints == 0):
+                break
+        else:
+            pytest.fail("async chaos run did not converge in 8 launches")
+
+        # launch 1 crashes; 2 repairs the crash and tears unit 3;
+        # 3 repairs the tear; 4 resumes everything cleanly
+        assert launches == 4
+        assert writer.crashes == [units[0].unit_id]
+        assert writer.tears == [units[2].unit_id]
+        assert not outcome.failures
+        assert outcome.stats.resumed == len(units)
+
+        # the chaos actually happened mid-flight: every stub bounced
+        # calls off the rate limiter and injected transient faults
+        # beyond the 429s, all absorbed by the async retry path
+        stubs = [unit.provider for unit in units]
+        assert all(stub.rate_limited > 0 for stub in stubs)
+        assert all(stub.faults_injected > stub.rate_limited
+                   for stub in stubs)
+
+        # fault-free reference run over the same models
+        clean_units = self._stub_units(chipvqa)
+        clean_dir = tmp_path / "clean"
+        clean = ParallelRunner(workers=1, run_dir=clean_dir).run(
+            clean_units)
+        assert not clean.failures
+
+        # every unit converged to byte-identical artifacts
+        for unit in units:
+            name = f"{unit.unit_id}.jsonl"
+            assert ((chaos_dir / name).read_bytes()
+                    == (clean_dir / name).read_bytes())
+
+        # the converged artifacts verify...
+        audit = results_io.verify_run(chaos_dir)
+        assert audit.ok
+        assert audit.counts()["ok"] == len(units)
+
+        # ...and a single flipped byte is caught
+        victim = chaos_dir / f"{units[1].unit_id}.jsonl"
         original = victim.read_bytes()
         victim.write_bytes(original.replace(b'"correct"', b'"cXrrect"', 1))
         broken = results_io.verify_run(chaos_dir)

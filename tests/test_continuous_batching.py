@@ -1,0 +1,362 @@
+"""Property-based and unit tests for the async provider seam: the
+continuous batcher's exactly-once/capacity/homogeneity invariants under
+arbitrary arrival-drain interleavings (hypothesis), token-bucket
+pacing, and hedged-request semantics."""
+
+import asyncio
+import itertools
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import TransientModelError
+from repro.models import (
+    NO_CHOICE,
+    WITH_CHOICE,
+    AsyncCallScheduler,
+    ContinuousBatcher,
+    HedgePolicy,
+    TokenBucket,
+)
+
+
+class _RecordingAsyncProvider:
+    """Echo provider: answers after a scripted number of event-loop
+    yields, recording every dispatched batch for invariant checks."""
+
+    def __init__(self, name, delays):
+        self.name = name
+        self.calls = []
+        self._delays = delays
+
+    def config_fingerprint(self):
+        """Constant fingerprint; batching keys on identity, not this."""
+        return "f" * 64
+
+    async def answer_batch_async(self, questions, setting,
+                                 resolution_factor=1, use_raster=True):
+        """Yield ``next(delays)`` times, then echo tagged answers."""
+        for _ in range(next(self._delays)):
+            await asyncio.sleep(0)
+        self.calls.append((list(questions), setting,
+                           resolution_factor, use_raster))
+        return [f"{self.name}:{q}:{setting}:{resolution_factor}"
+                for q in questions]
+
+
+CONTEXTS = [(WITH_CHOICE, 1, False), (NO_CHOICE, 2, True)]
+
+
+class TestContinuousBatcherProperties:
+    """The satellite property test: under arbitrary interleavings of
+    arrivals and drains, every submitted unit of work is answered
+    exactly once, no dispatched batch exceeds capacity, and batches
+    are never heterogeneous across providers (or contexts)."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        max_batch_size=st.integers(min_value=1, max_value=4),
+        max_in_flight=st.integers(min_value=1, max_value=3),
+        subs=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 1),
+                      st.integers(0, 3)),
+            min_size=1, max_size=24),
+        delays=st.lists(st.integers(0, 4), min_size=1, max_size=24),
+    )
+    def test_exactly_once_capacity_homogeneity(
+            self, max_batch_size, max_in_flight, subs, delays):
+        delay_iter = itertools.cycle(delays)
+        providers = [_RecordingAsyncProvider(f"p{i}", delay_iter)
+                     for i in range(3)]
+        batcher = ContinuousBatcher(max_batch_size=max_batch_size,
+                                    max_in_flight=max_in_flight)
+
+        async def submit_one(idx, provider_idx, context_idx, pre_delay):
+            for _ in range(pre_delay):
+                await asyncio.sleep(0)
+            setting, factor, raster = CONTEXTS[context_idx]
+            answer = await batcher.submit(
+                providers[provider_idx], f"q{idx}", setting, factor,
+                use_raster=raster)
+            return idx, provider_idx, context_idx, answer
+
+        async def main():
+            return await asyncio.gather(*[
+                submit_one(i, p, c, d)
+                for i, (p, c, d) in enumerate(subs)])
+
+        results = asyncio.run(main())
+
+        # Exactly once, each with its own provider/context answer.
+        assert len(results) == len(subs)
+        for idx, p_idx, c_idx, answer in results:
+            setting, factor, _ = CONTEXTS[c_idx]
+            assert answer == f"p{p_idx}:q{idx}:{setting}:{factor}"
+        dispatched = [q for provider in providers
+                      for batch, _, _, _ in provider.calls
+                      for q in batch]
+        assert sorted(dispatched) == sorted(
+            f"q{i}" for i in range(len(subs)))
+
+        # Capacity and homogeneity per dispatched batch.
+        for p_idx, provider in enumerate(providers):
+            for batch, setting, factor, raster in provider.calls:
+                assert 1 <= len(batch) <= max_batch_size
+                for question in batch:
+                    sub_provider, sub_context, _ = subs[
+                        int(question[1:])]
+                    assert sub_provider == p_idx
+                    assert CONTEXTS[sub_context] == (
+                        setting, factor, raster)
+
+        # The window drained completely and never overfilled.
+        assert batcher.in_flight == 0
+        assert batcher.pending_count() == 0
+        assert batcher.peak_in_flight <= max_in_flight
+
+
+class TestContinuousBatcherUnit:
+    """Deterministic (non-property) batcher behaviors."""
+
+    def test_rolling_refill_overlaps_calls(self):
+        provider = _RecordingAsyncProvider("p", itertools.cycle([3]))
+        batcher = ContinuousBatcher(max_batch_size=2, max_in_flight=2)
+
+        async def main():
+            return await asyncio.gather(*[
+                batcher.submit(provider, f"q{i}", WITH_CHOICE)
+                for i in range(8)])
+
+        answers = asyncio.run(main())
+        assert len(answers) == 8
+        assert batcher.peak_in_flight == 2
+        assert batcher.refills > 0
+        # Early arrivals dispatch eagerly (possibly as singletons);
+        # once the window is full, drained slots refill with full
+        # batches — never more batches than submissions.
+        assert 4 <= batcher.batches <= 8
+        assert batcher.batched_questions == 8
+
+    def test_dispatch_error_reaches_every_cobatched_waiter(self):
+        class _FailingProvider:
+            """Async provider whose dispatch always raises."""
+
+            name = "failing"
+
+            def config_fingerprint(self):
+                """Constant fingerprint."""
+                return "a" * 64
+
+            async def answer_batch_async(self, questions, setting,
+                                         resolution_factor=1,
+                                         use_raster=True):
+                """Fail after one yield so both waiters co-batch."""
+                await asyncio.sleep(0)
+                raise TransientModelError("boom")
+
+        batcher = ContinuousBatcher(max_batch_size=4, max_in_flight=1)
+        provider = _FailingProvider()
+
+        async def main():
+            return await asyncio.gather(
+                *[batcher.submit(provider, f"q{i}", WITH_CHOICE)
+                  for i in range(3)],
+                return_exceptions=True)
+
+        outcomes = asyncio.run(main())
+        assert len(outcomes) == 3
+        assert all(isinstance(o, TransientModelError) for o in outcomes)
+        assert batcher.in_flight == 0
+
+    def test_sync_provider_adapts_transparently(self):
+        class _SyncEcho:
+            """Sync-only provider; the batcher must adapt it."""
+
+            name = "sync-echo"
+
+            def config_fingerprint(self):
+                """Constant fingerprint."""
+                return "b" * 64
+
+            def answer_batch(self, questions, setting,
+                             resolution_factor=1, use_raster=True):
+                """Echo the questions."""
+                return list(questions)
+
+        batcher = ContinuousBatcher(max_batch_size=4)
+        answers = asyncio.run(asyncio.wait_for(
+            batcher.submit(_SyncEcho(), "q0", WITH_CHOICE), timeout=10))
+        assert answers == "q0"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ContinuousBatcher(max_in_flight=0)
+
+
+class TestTokenBucket:
+    """Client-side pacing: deterministic refill math on a scripted
+    clock, and awaited acquisition through the injectable sleep."""
+
+    def test_burst_then_refill(self):
+        clock = {"now": 0.0}
+        bucket = TokenBucket(2.0, burst=2, clock=lambda: clock["now"])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.wait_time() == pytest.approx(0.5)
+        clock["now"] = 0.5  # one token refilled at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.granted == 3
+        assert bucket.rejected == 2
+
+    def test_burst_caps_accumulation(self):
+        clock = {"now": 0.0}
+        bucket = TokenBucket(10.0, burst=3, clock=lambda: clock["now"])
+        clock["now"] = 100.0  # idle forever; still only ``burst`` tokens
+        for _ in range(3):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_async_acquire_sleeps_exact_deficit(self):
+        clock = {"now": 0.0}
+        waits = []
+
+        async def fake_sleep(seconds):
+            waits.append(seconds)
+            clock["now"] += seconds
+
+        bucket = TokenBucket(4.0, burst=1, clock=lambda: clock["now"])
+
+        async def main():
+            for _ in range(3):
+                await bucket.acquire(sleep=fake_sleep)
+
+        asyncio.run(main())
+        assert bucket.granted == 3
+        assert waits == [pytest.approx(0.25), pytest.approx(0.25)]
+        assert bucket.waited_s == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, burst=0)
+
+
+class _StragglerProvider:
+    """First call sleeps a long wall-clock interval; later calls are
+    instant — the canonical hedging victim."""
+
+    name = "straggler"
+
+    def __init__(self, straggle_s=0.5):
+        self.calls = 0
+        self.straggle_s = straggle_s
+
+    def config_fingerprint(self):
+        """Constant fingerprint."""
+        return "c" * 64
+
+    async def answer_batch_async(self, questions, setting,
+                                 resolution_factor=1, use_raster=True):
+        """Sleep long on the first call only, then echo."""
+        self.calls += 1
+        if self.calls == 1:
+            await asyncio.sleep(self.straggle_s)
+        return list(questions)
+
+
+class TestHedgedRequests:
+    """First-success-wins duplication of straggling calls."""
+
+    def test_hedge_policy_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(-0.1)
+        with pytest.raises(ValueError):
+            HedgePolicy(0.5, max_hedges=0)
+
+    def test_hedge_wins_over_straggler(self):
+        provider = _StragglerProvider(straggle_s=0.5)
+        scheduler = AsyncCallScheduler(hedge=HedgePolicy(after_s=0.05))
+        start = time.monotonic()
+        answers = asyncio.run(
+            scheduler.call(provider, ["q0"], WITH_CHOICE))
+        elapsed = time.monotonic() - start
+        assert answers == ["q0"]
+        assert provider.calls == 2
+        assert scheduler.hedges_launched == 1
+        assert scheduler.hedge_wins == 1
+        assert elapsed < 0.4  # the hedge returned, not the straggler
+
+    def test_fast_call_never_hedged(self):
+        provider = _StragglerProvider(straggle_s=0.0)
+        scheduler = AsyncCallScheduler(hedge=HedgePolicy(after_s=0.5))
+        answers = asyncio.run(
+            scheduler.call(provider, ["q0"], WITH_CHOICE))
+        assert answers == ["q0"]
+        assert provider.calls == 1
+        assert scheduler.hedges_launched == 0
+
+    def test_all_copies_failing_keeps_unhedged_semantics(self):
+        class _AlwaysFailing:
+            """Every copy fails fast with the same transient error."""
+
+            name = "always-failing"
+
+            def config_fingerprint(self):
+                """Constant fingerprint."""
+                return "d" * 64
+
+            async def answer_batch_async(self, questions, setting,
+                                         resolution_factor=1,
+                                         use_raster=True):
+                """Raise immediately."""
+                raise TransientModelError("copy failed")
+
+        scheduler = AsyncCallScheduler(hedge=HedgePolicy(after_s=0.01))
+        with pytest.raises(TransientModelError, match="copy failed"):
+            asyncio.run(scheduler.call(
+                _AlwaysFailing(), ["q0"], WITH_CHOICE))
+        assert scheduler.hedge_wins == 0
+
+
+class TestSchedulerPacing:
+    """The scheduler awaits per-provider token buckets before
+    dispatching — pacing, not rejection, on the client side."""
+
+    def test_calls_paced_at_configured_rate(self):
+        clock = {"now": 0.0}
+
+        async def fake_sleep(seconds):
+            clock["now"] += seconds
+
+        scheduler = AsyncCallScheduler(rate_limit_per_s=2.0,
+                                       rate_burst=1,
+                                       clock=lambda: clock["now"],
+                                       async_sleep=fake_sleep)
+        provider = _RecordingAsyncProvider("p", itertools.cycle([0]))
+
+        async def main():
+            for i in range(4):
+                await scheduler.call(provider, [f"q{i}"], WITH_CHOICE)
+
+        asyncio.run(main())
+        assert scheduler.calls == 4
+        bucket = scheduler.bucket_for("p")
+        assert bucket.granted == 4
+        # burst of 1, then three waits of 0.5 s each at 2/s
+        assert clock["now"] == pytest.approx(1.5)
+
+    def test_buckets_are_per_provider(self):
+        scheduler = AsyncCallScheduler(rate_limit_per_s=5.0)
+        assert scheduler.bucket_for("a") is scheduler.bucket_for("a")
+        assert scheduler.bucket_for("a") is not scheduler.bucket_for("b")
+
+    def test_no_rate_limit_means_no_bucket(self):
+        scheduler = AsyncCallScheduler()
+        assert scheduler.bucket_for("a") is None

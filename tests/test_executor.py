@@ -13,6 +13,7 @@ import pytest
 from repro.core import perfstats
 from repro.core.executor import (
     BACKEND_NAMES,
+    AsyncBackend,
     ExecutorConfigError,
     ProcessBackend,
     SerialBackend,
@@ -27,6 +28,7 @@ from repro.core.executor import (
     spec_for,
 )
 from repro.core.faults import FaultBoundary, LatencyBoundary
+from repro.core.resilience import CircuitBreaker
 from repro.core.harness import run_table2
 from repro.core.question import Category
 from repro.core.runner import ParallelRunner, WorkUnit
@@ -65,7 +67,9 @@ class TestBackendResolution:
         assert isinstance(create_backend("serial", 2), SerialBackend)
         assert isinstance(create_backend("thread", 2), ThreadBackend)
         assert isinstance(create_backend("process", 2), ProcessBackend)
-        assert set(BACKEND_NAMES) == {"serial", "thread", "process"}
+        assert isinstance(create_backend("async", 2), AsyncBackend)
+        assert set(BACKEND_NAMES) == {
+            "serial", "thread", "process", "async"}
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ExecutorConfigError, match="unknown backend"):
@@ -80,6 +84,27 @@ class TestBackendResolution:
             ThreadBackend(0)
         with pytest.raises(ValueError):
             ProcessBackend(0)
+        with pytest.raises(ValueError):
+            AsyncBackend(0)
+
+    def test_async_backend_option_validation(self):
+        with pytest.raises(ValueError, match="rate_limit_per_s"):
+            AsyncBackend(2, rate_limit_per_s=0.0)
+        with pytest.raises(ValueError, match="hedge_after_s"):
+            AsyncBackend(2, hedge_after_s=-1.0)
+        with pytest.raises(ValueError, match="max_hedges"):
+            AsyncBackend(2, hedge_after_s=0.5, max_hedges=0)
+
+    def test_async_backend_builds_fresh_scheduler_per_run(self):
+        backend = AsyncBackend(2, rate_limit_per_s=10.0,
+                               hedge_after_s=0.5, max_hedges=2)
+        first = backend.make_scheduler()
+        second = backend.make_scheduler()
+        assert first is not second
+        assert backend.last_scheduler is second
+        assert second.hedge is not None
+        assert second.hedge.after_s == pytest.approx(0.5)
+        assert second.hedge.max_hedges == 2
 
     def test_hard_deadline(self):
         backend = ProcessBackend(workers=1, hard_deadline_factor=2.0,
@@ -252,3 +277,97 @@ class TestProcessFailureHandling:
                 "completed"
             assert len(outcome.results[survivor.unit_id]) == len(subset)
         assert set(outcome.failures) == {units[1].unit_id}
+
+
+class TestAsyncBackendSemantics:
+    """The async backend preserves the runner's resilience semantics —
+    retries, breaker fast-fails, deadlines, and resume all behave as
+    they do on the in-process sync backends."""
+
+    def _digital_unit(self, chipvqa, model="gpt-4o", **stub_kwargs):
+        """One digital-category unit over a (possibly faulty) stub."""
+        provider = build_model(model)
+        if stub_kwargs:
+            provider = RemoteStubProvider(create_provider(model),
+                                          **stub_kwargs)
+        return WorkUnit(model=provider,
+                        dataset=chipvqa.by_category(Category.DIGITAL),
+                        setting=WITH_CHOICE)
+
+    def test_retry_recovers_transient_faults(self, chipvqa):
+        unit = self._digital_unit(chipvqa, transient_rate=1.0,
+                                  transient_failures=2)
+        runner = ParallelRunner(workers=2, backend="async")
+        runner.run([unit]).raise_on_failure()
+        stats = runner.last_stats.unit(unit.unit_id)
+        assert stats.status == "completed"
+        assert stats.retries == 2
+
+    def test_breaker_fast_fails_sibling_units(self, chipvqa):
+        subset = chipvqa.by_category(Category.DIGITAL)
+        broken = [WorkUnit(model=RemoteStubProvider(
+                               create_provider("gpt-4o"),
+                               permanent_rate=1.0),
+                           dataset=subset, setting=WITH_CHOICE,
+                           resolution_factor=factor)
+                  for factor in (1, 2, 3)]
+        healthy = WorkUnit(model=build_model("llava-7b"), dataset=subset,
+                           setting=WITH_CHOICE)
+        runner = ParallelRunner(workers=1, backend="async",
+                                breaker=CircuitBreaker(
+                                    failure_threshold=2))
+        runner.run(broken + [healthy])
+        statuses = [runner.last_stats.unit(u.unit_id).status
+                    for u in broken]
+        assert statuses.count("failed") == 2
+        assert statuses.count("fast_failed") == 1
+        assert runner.last_stats.unit(healthy.unit_id).status == \
+            "completed"
+
+    def test_deadline_times_out_unit(self, chipvqa):
+        unit = self._digital_unit(chipvqa)
+        runner = ParallelRunner(
+            workers=1, backend="async", deadline_s=0.05,
+            fault_boundary=LatencyBoundary(per_question=10.0))
+        runner.run([unit])
+        stats = runner.last_stats.unit(unit.unit_id)
+        assert stats.status == "timed_out"
+
+    def test_resume_skips_completed_units(self, chipvqa, tmp_path):
+        subset = chipvqa.by_category(Category.DIGITAL)
+        units = [WorkUnit(model=build_model(name), dataset=subset,
+                          setting=WITH_CHOICE)
+                 for name in ("gpt-4o", "llava-7b")]
+        first = ParallelRunner(workers=2, backend="async",
+                               run_dir=tmp_path)
+        first.run(units).raise_on_failure()
+        second = ParallelRunner(workers=2, backend="async",
+                                run_dir=tmp_path)
+        outcome = second.run(units)
+        assert second.last_stats.resumed == 2
+        assert second.last_stats.completed == 0
+        assert len(outcome.results) == 2
+
+    def test_scheduler_telemetry_counts_unit_calls(self, chipvqa):
+        units = [WorkUnit(model=build_model(name),
+                          dataset=chipvqa.by_category(Category.DIGITAL),
+                          setting=WITH_CHOICE)
+                 for name in ("gpt-4o", "llava-7b", "kosmos-2")]
+        backend = AsyncBackend(4, rate_limit_per_s=1000.0)
+        runner = ParallelRunner(workers=4, backend=backend)
+        runner.run(units).raise_on_failure()
+        assert backend.last_scheduler is not None
+        assert backend.last_scheduler.calls == 3
+        bucket = backend.last_scheduler.bucket_for("gpt-4o")
+        assert bucket.granted >= 1
+
+    def test_hedged_rate_limited_run_matches_plain_digest(self, tmp_path):
+        """Hedging and client-side pacing shape latency only: a run
+        under both knobs reproduces the golden Table II digest."""
+        backend = AsyncBackend(8, rate_limit_per_s=1000.0,
+                               hedge_after_s=5.0)
+        runner = ParallelRunner(workers=8, run_dir=tmp_path / "run",
+                                backend=backend)
+        results = run_table2(build_zoo(), runner=runner)
+        assert len(results) == 12
+        assert run_dir_digest(tmp_path / "run") == GOLDEN_TABLE2_DIGEST

@@ -11,8 +11,10 @@ acceptance criterion: ``run_table2`` over the full zoo through
 ``LocalProvider`` reproduces the pre-refactor artifacts byte-for-byte.
 """
 
+import asyncio
 import hashlib
 import threading
+import time
 
 import pytest
 
@@ -22,11 +24,13 @@ from repro.core.question import Category
 from repro.core.runner import ParallelRunner, WorkUnit
 from repro.models import (
     WITH_CHOICE,
+    AsyncModelProvider,
     BatchingProvider,
     LocalProvider,
     ModelProvider,
     ProviderRegistry,
     RemoteStubProvider,
+    as_async_provider,
     as_provider,
     build_model,
     build_vlm,
@@ -361,3 +365,241 @@ class TestGoldenByteIdentity:
         assert entry["provider"] == "gpt-4o"
         assert (entry["provider_fingerprint"]
                 == provider.config_fingerprint())
+
+
+@pytest.mark.parametrize("name", ALL_PROVIDERS)
+class TestAsyncConformance:
+    """Every registry entry passes the conformance suite through the
+    sync-to-async adapter seam (``as_async_provider``): protocol
+    satisfaction, ordering, deterministic replay, and fingerprint
+    identity all hold when driven from an asyncio event loop."""
+
+    def test_satisfies_async_protocol(self, name):
+        provider = as_async_provider(create_provider(name))
+        assert isinstance(provider, AsyncModelProvider)
+        assert provider.name == name
+
+    def test_adapter_preserves_fingerprint(self, name):
+        base = create_provider(name)
+        assert (as_async_provider(base).config_fingerprint()
+                == base.config_fingerprint())
+
+    def test_async_one_answer_per_question_in_order(self, name, digital):
+        provider = as_async_provider(create_provider(name))
+        answers = asyncio.run(provider.answer_batch_async(
+            digital, WITH_CHOICE, use_raster=False))
+        assert [a.qid for a in answers] == [q.qid for q in digital]
+
+    def test_async_replay_matches_sync(self, name, digital):
+        sync_answers = create_provider(name).answer_batch(
+            digital, WITH_CHOICE, use_raster=False)
+        async_answers = asyncio.run(
+            as_async_provider(create_provider(name)).answer_batch_async(
+                digital, WITH_CHOICE, use_raster=False))
+        assert async_answers == sync_answers
+
+    def test_native_async_is_not_rewrapped(self, name):
+        """A provider that already speaks the async protocol passes
+        through ``as_async_provider`` untouched."""
+        provider = as_async_provider(create_provider(name))
+        assert as_async_provider(provider) is provider
+
+
+class TestAsyncRemoteStubFaultBoundary:
+    """The stub's native async interface speaks the exact same fault
+    vocabulary as the sync transport: transient faults recover after
+    the scripted crossings, permanent faults never do, and rate-limit
+    rejections surface as retryable ``TransientModelError``."""
+
+    def test_transient_fault_recovers_after_crossings(self, digital):
+        provider = RemoteStubProvider(build_model("gpt-4o"),
+                                      transient_rate=1.0,
+                                      transient_failures=2)
+
+        async def drive():
+            outcomes = []
+            for _ in range(3):
+                try:
+                    await provider.answer_batch_async(
+                        digital, WITH_CHOICE, use_raster=False)
+                    outcomes.append("ok")
+                except TransientModelError:
+                    outcomes.append("transient")
+            return outcomes
+
+        assert asyncio.run(drive()) == ["transient", "transient", "ok"]
+        assert provider.faults_injected == 2
+        assert provider.calls == 1
+
+    def test_permanent_fault_never_recovers(self, digital):
+        provider = RemoteStubProvider(build_model("gpt-4o"),
+                                      permanent_rate=1.0)
+
+        async def drive():
+            for _ in range(2):
+                with pytest.raises(PermanentError):
+                    await provider.answer_batch_async(
+                        digital, WITH_CHOICE, use_raster=False)
+
+        asyncio.run(drive())
+        assert provider.calls == 0
+
+    def test_async_matches_sync_fault_pattern(self, digital):
+        """Fault draws are keyed, not stateful randomness: the async
+        seam replays the same per-key inject/pass pattern as sync."""
+
+        def pattern(provider, via_async):
+            outcomes = []
+            for factor in (1, 2, 3, 4):
+                try:
+                    if via_async:
+                        asyncio.run(provider.answer_batch_async(
+                            digital, WITH_CHOICE, factor,
+                            use_raster=False))
+                    else:
+                        provider.answer_batch(
+                            digital, WITH_CHOICE, factor,
+                            use_raster=False)
+                    outcomes.append("ok")
+                except TransientModelError:
+                    outcomes.append("fault")
+            return outcomes
+
+        make = lambda: RemoteStubProvider(  # noqa: E731
+            build_model("gpt-4o"), transient_rate=0.5, seed=11)
+        assert pattern(make(), via_async=True) == pattern(
+            make(), via_async=False)
+
+    def test_rate_limit_rejects_with_transient_429(self, digital):
+        clock = {"now": 0.0}
+        provider = RemoteStubProvider(build_model("gpt-4o"),
+                                      rate_limit_per_s=1.0,
+                                      rate_limit_burst=1,
+                                      rate_clock=lambda: clock["now"])
+
+        async def drive():
+            await provider.answer_batch_async(
+                digital, WITH_CHOICE, use_raster=False)
+            with pytest.raises(TransientModelError,
+                               match="simulated 429 rate limit"):
+                await provider.answer_batch_async(
+                    digital, WITH_CHOICE, 2, use_raster=False)
+            clock["now"] = 1.0  # bucket refills one token
+            await provider.answer_batch_async(
+                digital, WITH_CHOICE, 2, use_raster=False)
+
+        asyncio.run(drive())
+        assert provider.rate_limited == 1
+        assert provider.calls == 2
+
+    def test_async_latency_awaits_instead_of_blocking(self, digital):
+        """Simulated latency on the async path goes through the
+        injectable coroutine sleep, never ``time.sleep``."""
+        waited = []
+
+        async def record(seconds):
+            waited.append(seconds)
+
+        provider = RemoteStubProvider(build_model("gpt-4o"),
+                                      base_latency_s=0.25,
+                                      async_sleep=record,
+                                      sleep=pytest.fail)
+        asyncio.run(provider.answer_batch_async(
+            digital, WITH_CHOICE, use_raster=False))
+        assert waited and waited[0] >= 0.25
+
+    def test_rate_limit_knobs_excluded_from_fingerprint(self):
+        """Rate limits and per-call jitter shape transport scheduling,
+        not answers; fingerprints (hence cache keys) ignore them."""
+        plain = RemoteStubProvider(build_model("gpt-4o"))
+        limited = RemoteStubProvider(build_model("gpt-4o"),
+                                     rate_limit_per_s=2.0,
+                                     rate_limit_burst=3,
+                                     jitter_per_call=True)
+        assert (plain.config_fingerprint()
+                == limited.config_fingerprint())
+
+
+class TestBatchingProviderDrainSafety:
+    """Regression tests for the drain deadlock: a drainer that dies
+    between slicing a batch off the queue and completing it used to
+    strand co-batched waiters forever (the sliced entries were
+    unreachable by any other drainer, and with the old boolean
+    ``_draining`` flag a competing drain could also wedge)."""
+
+    class _Interrupt(BaseException):
+        """Non-``Exception`` failure landing mid-dispatch, like a
+        ``KeyboardInterrupt`` delivered to the draining thread."""
+
+    class _ExplodingModel:
+        """Inner provider whose dispatch dies with a BaseException."""
+
+        name = "exploding"
+
+        def config_fingerprint(self):
+            """Constant fingerprint; identity is irrelevant here."""
+            return "0" * 64
+
+        def answer_batch(self, questions, setting, resolution_factor=1,
+                         use_raster=True):
+            """Simulate an interrupt arriving inside the model call."""
+            raise TestBatchingProviderDrainSafety._Interrupt(
+                "interrupt mid-dispatch")
+
+    def test_co_batched_waiter_not_stranded_by_base_exception(
+            self, digital):
+        provider = BatchingProvider(self._ExplodingModel(),
+                                    max_batch_size=2, max_wait_s=30.0)
+        outcomes = {}
+
+        def submit(idx, question):
+            try:
+                outcomes[idx] = ("answer", provider.submit(
+                    question, WITH_CHOICE, use_raster=False))
+            except BaseException as exc:  # noqa: BLE001 - recording
+                outcomes[idx] = ("raised", exc)
+
+        first = threading.Thread(target=submit, args=(0, digital[0]))
+        first.start()
+        time.sleep(0.05)  # let the first submitter park in the wait loop
+        second = threading.Thread(target=submit, args=(1, digital[1]))
+        second.start()
+        first.join(timeout=5.0)
+        second.join(timeout=5.0)
+        assert not first.is_alive() and not second.is_alive()
+        assert len(outcomes) == 2
+        # Nobody got a silent ``None`` answer.
+        assert all(kind == "raised" for kind, _ in outcomes.values())
+        exceptions = [exc for _, exc in outcomes.values()]
+        assert any(isinstance(exc, self._Interrupt)
+                   for exc in exceptions)
+        assert any(isinstance(exc, RuntimeError)
+                   and "batch dispatch aborted" in str(exc)
+                   for exc in exceptions)
+
+    def test_pre_dispatch_failure_completes_sliced_entries(self, digital):
+        """A drain that dies before even dispatching (here: the batch
+        clock raising when the leftover re-opens the window) must mark
+        its sliced entries done-with-error; the leftover stays queued
+        for the next drain instead of vanishing."""
+        provider = BatchingProvider(build_model("gpt-4o"),
+                                    max_batch_size=1, max_wait_s=10.0)
+        sliced = {"question": digital[0],
+                  "context": (WITH_CHOICE, 1, False),
+                  "answer": None, "error": None, "done": False}
+        leftover = dict(sliced, question=digital[1])
+        provider._queue = [sliced, leftover]
+
+        def dying_clock():
+            raise RuntimeError("scripted clock death")
+
+        provider._clock = dying_clock
+        with provider._condition:
+            with pytest.raises(RuntimeError, match="scripted clock death"):
+                provider._drain_locked()
+        assert sliced["done"]
+        assert isinstance(sliced["error"], RuntimeError)
+        assert "batch dispatch aborted" in str(sliced["error"])
+        assert not leftover["done"]
+        assert provider._queue == [leftover]
+        assert provider._draining == 0
