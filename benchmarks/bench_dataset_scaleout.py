@@ -1,0 +1,146 @@
+"""E18 — Procedural dataset scale-out: warm build cache, parallel shard
+builds, and streaming-sweep memory residency.
+
+Three shapes pinned (see ``docs/DATASET_FORMAT.md`` for the machinery):
+
+* **warm >= 3x cold** — a cold ``build_chipvqa_scaled`` pays the
+  canonical solver build plus variant derivation per shard; a warm
+  rebuild decodes shards straight from the content-addressed disk cache
+  and never touches a generator.  On the reference container the gap is
+  >10x, so the asserted floor of 3x has wide margin.
+* **parallel >= 2x serial at 8 workers** — :func:`repro.core.databuild.
+  prime_build_cache` fans shard generation out over the process
+  backend; workers write shards straight to the disk store and return
+  one int each, so IPC volume cannot eat the speedup.  Needs real
+  cores; skipped below four.
+* **streaming residency O(shard)** — a full streaming sweep through
+  :func:`repro.core.sweep.run_scaled_table2` keeps resident questions
+  bounded by the shard cache's memory tier, far below the dataset size
+  (the repo's processes have no psutil, so residency is measured by
+  the instrumented ``peak_resident_questions`` gauge rather than RSS).
+
+The non-slow test is a cheap any-machine identity check; the pinned
+shapes are ``slow`` and run in the nightly bench step.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import databuild, perfstats
+from repro.core.benchmark import build_chipvqa_scaled
+
+FEW_CORES = (os.cpu_count() or 1) < 4
+
+#: Scaled-build size for the cold/warm shape: six canonical cycles.
+WARM_N = 6 * 142
+#: Streaming-sweep size: ~10k questions (71 canonical cycles).
+STREAM_N = 71 * 142
+
+
+def test_warm_cache_identity(tmp_path):
+    """Smoke (any machine): a warm rebuild through the disk cache is
+    question-identical to the cold build, render specs included."""
+    databuild.enable_build_cache(tmp_path)
+    try:
+        perfstats.reset()
+        cold = build_chipvqa_scaled(3 * 142, 11, validate=False)
+        perfstats.reset()
+        warm = build_chipvqa_scaled(3 * 142, 11, validate=False)
+        stats = perfstats.snapshot()[databuild.BUILD_CACHE_NAME]
+        assert stats["spill_hits"] == 3 and stats["misses"] == 0
+    finally:
+        databuild.disable_build_cache()
+    assert warm.content_digest() == cold.content_digest()
+
+
+@pytest.mark.slow
+def test_warm_build_at_least_3x_faster_than_cold(tmp_path):
+    """Acceptance (E18): warm rebuild >= 3x faster than cold.
+
+    ``perfstats.reset()`` before each timing drops every memory tier —
+    including the canonical 142-question dataset cache — so the cold
+    run pays the full solver build and the warm run must come entirely
+    from the disk tier.
+    """
+    databuild.enable_build_cache(tmp_path)
+    try:
+        perfstats.reset()
+        databuild.reset_canonical_cycle()
+        start = time.perf_counter()
+        cold = build_chipvqa_scaled(WARM_N, 11, validate=False)
+        cold_s = time.perf_counter() - start
+
+        perfstats.reset()
+        databuild.reset_canonical_cycle()
+        start = time.perf_counter()
+        warm = build_chipvqa_scaled(WARM_N, 11, validate=False)
+        warm_s = time.perf_counter() - start
+        stats = perfstats.snapshot()[databuild.BUILD_CACHE_NAME]
+    finally:
+        databuild.disable_build_cache()
+
+    print(f"\nn={WARM_N}: cold {cold_s * 1e3:7.1f} ms   "
+          f"warm {warm_s * 1e3:7.1f} ms   "
+          f"speedup {cold_s / warm_s:5.1f}x   "
+          f"(spill hits {stats['spill_hits']})")
+    assert stats["spill_hits"] == WARM_N // 142
+    assert warm.content_digest() == cold.content_digest()
+    assert cold_s / warm_s >= 3.0
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(FEW_CORES, reason="needs >= 4 CPU cores to show "
+                    "parallel shard-build scaling")
+def test_parallel_prime_at_least_2x_serial(tmp_path):
+    """Acceptance (E18): priming the shard cache with 8 process workers
+    beats the serial path >= 2x on a 50-cycle build."""
+    total, shard_size = 50 * 142, 142
+
+    serial_dir = tmp_path / "serial"
+    databuild.canonical_cycle()  # warm once; both paths inherit it
+    start = time.perf_counter()
+    serial = databuild.prime_build_cache(
+        total, 13, cache_dir=serial_dir, shard_size=shard_size)
+    serial_s = time.perf_counter() - start
+
+    parallel_dir = tmp_path / "parallel"
+    start = time.perf_counter()
+    parallel = databuild.prime_build_cache(
+        total, 13, cache_dir=parallel_dir, shard_size=shard_size,
+        backend="process", workers=8)
+    parallel_s = time.perf_counter() - start
+
+    print(f"\nprime {total} questions: serial {serial_s:6.2f} s   "
+          f"process x8 {parallel_s:6.2f} s   "
+          f"speedup {serial_s / parallel_s:4.1f}x")
+    assert serial == parallel == {
+        "shards": total // shard_size,
+        "built": total // shard_size,
+        "reused": 0,
+    }
+    assert serial_s / parallel_s >= 2.0
+
+
+@pytest.mark.slow
+def test_streaming_sweep_memory_stays_o_shard():
+    """Acceptance (E18): a ~10k-question end-to-end sweep through
+    ``ParallelRunner`` holds O(shard) questions, not O(n)."""
+    from repro.core.sweep import run_scaled_table2
+
+    databuild._SHARD_CACHE.clear()
+    start = time.perf_counter()
+    report = run_scaled_table2(["llava-7b"], STREAM_N, seed=17,
+                               shard_size=142,
+                               include_challenge=False)
+    elapsed = time.perf_counter() - start
+
+    budget = (databuild._SHARD_CACHE.capacity + 1) * 142
+    result = report.results["llava-7b"]["with_choice"].samples[0]
+    print(f"\n{STREAM_N}-question streaming sweep: {elapsed:6.1f} s, "
+          f"peak resident {report.peak_resident_questions} questions "
+          f"(budget {budget}, dataset {STREAM_N})")
+    assert len(result.records) == STREAM_N
+    assert 0 < report.peak_resident_questions <= budget
+    assert report.peak_resident_questions < STREAM_N // 5

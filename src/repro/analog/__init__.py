@@ -10,7 +10,10 @@ from repro.analog import (
     smallsignal,
     transfer,
 )
-from repro.analog.questions import generate_analog_questions
+from repro.analog.questions import (
+    generate_analog_questions,
+    generate_analog_questions_scaled,
+)
 
 __all__ = [
     "dataconv",
@@ -20,4 +23,5 @@ __all__ = [
     "smallsignal",
     "transfer",
     "generate_analog_questions",
+    "generate_analog_questions_scaled",
 ]

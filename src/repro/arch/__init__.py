@@ -12,7 +12,10 @@ from repro.arch import (
     vector,
     vm,
 )
-from repro.arch.questions import generate_architecture_questions
+from repro.arch.questions import (
+    generate_architecture_questions,
+    generate_architecture_questions_scaled,
+)
 
 __all__ = [
     "branch",
@@ -24,4 +27,5 @@ __all__ = [
     "vector",
     "vm",
     "generate_architecture_questions",
+    "generate_architecture_questions_scaled",
 ]

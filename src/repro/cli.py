@@ -50,8 +50,11 @@ def _print_cache_stats(stats=None) -> None:
     ``--backend process`` — rather than this process's globals, so the
     numbers stay truthful for every backend.
     """
-    counters = (stats.perf_caches if stats is not None
-                and stats.perf_caches else perfstats.snapshot())
+    if isinstance(stats, dict):
+        counters = stats or perfstats.snapshot()
+    else:
+        counters = (stats.perf_caches if stats is not None
+                    and stats.perf_caches else perfstats.snapshot())
     print(f"\n{'cache':<12}{'hits':>8}{'misses':>8}{'evict':>7}"
           f"{'size':>7}{'spill':>7}{'hit rate':>10}")
     for name, entry in sorted(counters.items()):
@@ -84,6 +87,33 @@ def _effective_workers(requested: int,
               f"{cpus} CPU(s); using {cpus}")
         return cpus
     return max(1, requested)
+
+
+def _effective_limit(requested: int) -> int:
+    """Clamp ``--limit`` to a sane floor, with a warning.
+
+    A scaled sweep needs at least one question; values below 1 are
+    raised to 1 (mirroring the ``--workers`` clamp's posture: warn and
+    proceed rather than abort).  There is no upper clamp — the
+    streaming path is O(shard) in memory at any size.
+    """
+    if requested < 1:
+        print(f"warning: --limit {requested} is below 1; using 1")
+        return 1
+    return requested
+
+
+def _effective_samples(requested: int) -> int:
+    """Clamp ``--samples`` to a sane floor, with a warning.
+
+    pass@k needs at least one sample per question; values below 1 are
+    raised to 1, matching the ``--workers``/``--limit`` clamp
+    semantics.
+    """
+    if requested < 1:
+        print(f"warning: --samples {requested} is below 1; using 1")
+        return 1
+    return requested
 
 
 def _build_backend(args: argparse.Namespace):
@@ -157,10 +187,77 @@ def _wrap_provider(provider, args: argparse.Namespace):
     return provider
 
 
+def _cmd_table2_scaled(args: argparse.Namespace) -> int:
+    """The scaled/multi-sample table2 path (--limit/--dataset-seed/--samples).
+
+    Streams an ``n``-question procedurally scaled collection through
+    :func:`repro.core.sweep.run_scaled_table2` shard-by-shard, with
+    multi-sample pass@k / consensus@k scoring when ``--samples`` > 1.
+    Requires ``--provider local``: sample salting re-registers model
+    clones in the provider registry, which the serving-stack wrappers
+    cannot express.
+    """
+    from pathlib import Path
+
+    from repro.core.question import TOTAL_QUESTIONS
+    from repro.core.resilience import CircuitBreaker, QuarantinePolicy
+    from repro.core.runner import ParallelRunner
+    from repro.core.sweep import run_scaled_table2
+
+    if args.provider != "local":
+        raise SystemExit("--limit/--dataset-seed/--samples require "
+                         "--provider local")
+    names = args.models or [name for name, _ in TABLE2_ROW_ORDER]
+    limit = _effective_limit(
+        args.limit if args.limit is not None else TOTAL_QUESTIONS)
+    samples = _effective_samples(args.samples)
+    seed = args.dataset_seed if args.dataset_seed is not None else 0
+    harness = EvaluationHarness()
+    runner = ParallelRunner(
+        harness=harness,
+        workers=_effective_workers(args.workers, args.backend),
+        run_dir=args.run_dir,
+        resume=not args.no_resume,
+        quarantine=QuarantinePolicy() if args.quarantine else None,
+        breaker=(CircuitBreaker(args.breaker)
+                 if args.breaker is not None else None),
+        deadline_s=args.deadline,
+        backend=_build_backend(args),
+        spill_dir=args.spill_dir)
+    report = run_scaled_table2(
+        names, limit, seed, samples=samples,
+        shard_size=args.shard_size, runner=runner,
+        spill_dir=args.spill_dir)
+    print(f"scaled sweep: {report.dataset_name} "
+          f"({limit} questions, {samples} sample(s))\n")
+    print(render_table2(report.table2_results(),
+                        dict(TABLE2_ROW_ORDER)))
+    if samples > 1:
+        ks = sorted({1, min(5, samples), samples})
+        print("\nmulti-sample metrics (unbiased pass@k, "
+              "majority-vote consensus@k):")
+        print(report.render(ks=ks))
+    if args.run_dir:
+        summary_path = results_io.write_summary(
+            Path(args.run_dir) / "sweep_summary.json",
+            report.passk_summary(ks=(1, min(5, samples), samples)))
+        print(f"\nsweep summary -> {summary_path}")
+        print(f"run artifacts -> {args.run_dir} "
+              f"(checkpoints + manifest.json; audit with "
+              f"`repro verify-run {args.run_dir}`)")
+    _print_resilience_warnings(runner.last_stats)
+    if args.cache_stats:
+        _print_cache_stats(report.perf_caches)
+    return 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.core.resilience import CircuitBreaker, QuarantinePolicy
     from repro.core.runner import ParallelRunner
 
+    if (args.limit is not None or args.dataset_seed is not None
+            or args.samples != 1):
+        return _cmd_table2_scaled(args)
     harness = EvaluationHarness()
     if args.models:
         models = [build_model(name) for name in args.models]
@@ -427,6 +524,25 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--deadline", type=float, default=None, metavar="S",
                     help="per-unit wall-time deadline in seconds; "
                          "overdue units are marked timed_out")
+    p2.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="evaluate an N-question procedurally scaled "
+                         "collection instead of the canonical 142 "
+                         "(streamed shard-by-shard; values below 1 are "
+                         "clamped to 1 with a warning; requires "
+                         "--provider local; see docs/DATASET_FORMAT.md)")
+    p2.add_argument("--dataset-seed", type=int, default=None,
+                    metavar="S",
+                    help="variant seed of the scaled collection "
+                         "(default 0); selecting a seed implies the "
+                         "scaled path even without --limit")
+    p2.add_argument("--samples", type=int, default=1, metavar="K",
+                    help="samples per question for pass@k / "
+                         "consensus@k scoring (values below 1 are "
+                         "clamped to 1 with a warning; K > 1 implies "
+                         "the scaled path and --provider local)")
+    p2.add_argument("--shard-size", type=int, default=None, metavar="Q",
+                    help="questions per build shard on the scaled "
+                         "path (default: 142, one canonical cycle)")
     p2.set_defaults(func=_cmd_table2)
 
     sub.add_parser("table3", help="Table III agent comparison") \

@@ -10,7 +10,8 @@ is produced by :func:`build_chipvqa_challenge` via
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional
 
 from repro.core import perfstats
 from repro.core.dataset import Dataset
@@ -24,6 +25,7 @@ from repro.core.question import (
     TOTAL_QUESTIONS,
     TOTAL_SHORT_ANSWER,
     VISUAL_TYPE_COUNTS,
+    VisualType,
 )
 
 
@@ -49,39 +51,96 @@ class BenchmarkIntegrityError(AssertionError):
     """The assembled benchmark violates a Table I constraint."""
 
 
-def validate_chipvqa(dataset: Dataset) -> None:
-    """Check every structural constraint Table I reports; raise on drift."""
-    if len(dataset) != TOTAL_QUESTIONS:
+@dataclass(frozen=True)
+class BuildExpectations:
+    """Structural constraints a built collection must satisfy.
+
+    Validation is a property of the *build spec*, not of a single
+    global constant: the canonical 142-question build checks the
+    Table I counts verbatim (:meth:`table1`), while an ``n``-question
+    scaled build checks the exact composition implied by the
+    interleaved scaling scheme (:meth:`scaled`).
+    """
+
+    total: int
+    type_counts: Mapping[QuestionType, int]
+    category_counts: Mapping[Category, int]
+    category_mc_counts: Mapping[Category, int]
+    visual_type_counts: Optional[Mapping[VisualType, int]] = None
+
+    @classmethod
+    def table1(cls) -> "BuildExpectations":
+        """The canonical Table I constraints (142 questions)."""
+        return cls(
+            total=TOTAL_QUESTIONS,
+            type_counts={
+                QuestionType.MULTIPLE_CHOICE: TOTAL_MULTIPLE_CHOICE,
+                QuestionType.SHORT_ANSWER: TOTAL_SHORT_ANSWER,
+            },
+            category_counts=dict(CATEGORY_COUNTS),
+            category_mc_counts=dict(CATEGORY_MC_COUNTS),
+            visual_type_counts=dict(VISUAL_TYPE_COUNTS),
+        )
+
+    @classmethod
+    def scaled(cls, total: int) -> "BuildExpectations":
+        """Exact expectations of an ``n``-question scaled build."""
+        from repro.core.databuild import expected_composition
+
+        composition = expected_composition(total)
+        return cls(
+            total=composition.total,
+            type_counts=composition.type_counts,
+            category_counts=composition.category_counts,
+            category_mc_counts=composition.category_mc_counts,
+            visual_type_counts=composition.visual_type_counts,
+        )
+
+
+def validate_chipvqa(
+    dataset: Dataset,
+    expectations: Optional[BuildExpectations] = None,
+) -> None:
+    """Check a build's structural constraints; raise on drift.
+
+    With no ``expectations`` the canonical Table I constraints apply
+    (exactly the historical behaviour, including error messages).
+    """
+    spec = expectations or BuildExpectations.table1()
+    if len(dataset) != spec.total:
         raise BenchmarkIntegrityError(
-            f"expected {TOTAL_QUESTIONS} questions, got {len(dataset)}")
+            f"expected {spec.total} questions, got {len(dataset)}")
     type_counts = dataset.type_counts()
-    if type_counts[QuestionType.MULTIPLE_CHOICE] != TOTAL_MULTIPLE_CHOICE:
+    expected_mc = spec.type_counts.get(QuestionType.MULTIPLE_CHOICE, 0)
+    if type_counts[QuestionType.MULTIPLE_CHOICE] != expected_mc:
         raise BenchmarkIntegrityError(
-            f"expected {TOTAL_MULTIPLE_CHOICE} MC questions, got "
+            f"expected {expected_mc} MC questions, got "
             f"{type_counts[QuestionType.MULTIPLE_CHOICE]}")
-    if type_counts[QuestionType.SHORT_ANSWER] != TOTAL_SHORT_ANSWER:
+    expected_sa = spec.type_counts.get(QuestionType.SHORT_ANSWER, 0)
+    if type_counts[QuestionType.SHORT_ANSWER] != expected_sa:
         raise BenchmarkIntegrityError(
-            f"expected {TOTAL_SHORT_ANSWER} SA questions, got "
+            f"expected {expected_sa} SA questions, got "
             f"{type_counts[QuestionType.SHORT_ANSWER]}")
-    for category, expected in CATEGORY_COUNTS.items():
+    for category, expected in spec.category_counts.items():
         actual = dataset.category_counts()[category]
         if actual != expected:
             raise BenchmarkIntegrityError(
                 f"{category.short}: expected {expected} questions, got "
                 f"{actual}")
-    for category, expected in CATEGORY_MC_COUNTS.items():
+    for category, expected in spec.category_mc_counts.items():
         actual = dataset.mc_counts_by_category()[category]
         if actual != expected:
             raise BenchmarkIntegrityError(
                 f"{category.short}: expected {expected} MC questions, got "
                 f"{actual}")
-    visual_counts = dataset.visual_counts()
-    for visual_type, expected in VISUAL_TYPE_COUNTS.items():
-        actual = visual_counts.get(visual_type, 0)
-        if actual != expected:
-            raise BenchmarkIntegrityError(
-                f"visual {visual_type.value!r}: expected {expected}, got "
-                f"{actual}")
+    if spec.visual_type_counts is not None:
+        visual_counts = dataset.visual_counts()
+        for visual_type, expected in spec.visual_type_counts.items():
+            actual = visual_counts.get(visual_type, 0)
+            if actual != expected:
+                raise BenchmarkIntegrityError(
+                    f"visual {visual_type.value!r}: expected {expected}, got "
+                    f"{actual}")
 
 
 #: Content-frozen dataset cache.  Both collections are deterministic
@@ -121,3 +180,36 @@ def build_chipvqa_challenge() -> Dataset:
         dataset.build_spec = ("chipvqa-challenge",)
         _DATASET_CACHE.put("chipvqa-challenge", dataset)
     return dataset
+
+
+def build_chipvqa_scaled(
+    total: int,
+    seed: int = 0,
+    *,
+    shard_size: Optional[int] = None,
+    backend: Any = None,
+    workers: int = 1,
+    validate: bool = True,
+    challenge: bool = False,
+) -> Dataset:
+    """An ``n``-question procedurally scaled ChipVQA collection.
+
+    The global question sequence repeats the canonical collection in an
+    interleaved order that preserves the Table I family proportions in
+    every contiguous window; cycles beyond the first are seeded
+    variants (fresh qids, permuted MC options, jittered difficulty)
+    whose solver-derived gold answers are inherited unchanged.
+    ``build_chipvqa_scaled(142, seed)`` therefore reproduces the seed
+    dataset exactly, for every seed.
+
+    Shards are built through the content-addressed build cache in
+    :mod:`repro.core.databuild` — optionally in parallel across an
+    executor ``backend`` — so warm rebuilds are near-free when a disk
+    tier is attached (``--spill-dir`` /
+    :func:`repro.core.perfstats.enable_spill`).
+    """
+    from repro.core.databuild import build_scaled
+
+    return build_scaled(
+        total, seed, shard_size=shard_size, backend=backend,
+        workers=workers, validate=validate, challenge=challenge)

@@ -7,6 +7,7 @@ operations the benchmark harness and the Table I reproduction rely on.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from collections import Counter
@@ -215,6 +216,21 @@ class Dataset:
         return histogram
 
     # -- serialisation ---------------------------------------------------------
+
+    def content_digest(self) -> str:
+        """Hex sha256 of the question contents, independent of order.
+
+        The canonical JSON line of every question (``Question.to_json``
+        is key-sorted) is hashed in sorted-line order, so two datasets
+        built shard-by-shard in different orders — or by different
+        executor backends — digest identically iff they contain the
+        same questions.
+        """
+        hasher = hashlib.sha256()
+        for line in sorted(q.to_json() for q in self._questions):
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
     def to_jsonl(self) -> str:
         return "\n".join(q.to_json() for q in self._questions)

@@ -202,6 +202,11 @@ def dataset_from_spec(spec: Sequence[str]) -> Any:
             "chipvqa-challenge": build_chipvqa_challenge,
         }
         factory = builtin.get(root)
+    if factory is None and root.startswith("chipvqa-scaled:"):
+        from repro.core.databuild import dataset_from_scaled_root
+
+        def factory(root: str = root) -> Any:
+            return dataset_from_scaled_root(root)
     if factory is None:
         raise ExecutorConfigError(f"unknown dataset builder {root!r}")
     dataset = factory()
@@ -444,6 +449,19 @@ class ProcessBackend:
     def _new_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.workers,
                                    mp_context=self._mp_context)
+
+    def map_units(self, units: Sequence[Any],
+                  fn: Callable[[Any], Any]) -> List[Any]:
+        """Apply a top-level picklable ``fn`` across the process pool.
+
+        The generic fan-out path (dataset shard builds and other pure
+        CPU-bound jobs) — no retry/deadline machinery, results in
+        submission order, first exception propagates.  Evaluation units
+        go through :meth:`run_units`, which layers respawn and
+        hard-deadline handling on top of the pool.
+        """
+        with self._new_pool() as pool:
+            return list(pool.map(fn, units, chunksize=1))
 
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:

@@ -93,6 +93,136 @@ class EvalResult:
                    if r.judge_method == "quarantined")
 
 
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """The unbiased pass@k estimator of Chen et al. (2021).
+
+    Given ``n`` independent samples of which ``c`` were correct, the
+    probability that at least one of ``k`` uniformly drawn samples is
+    correct is ``1 - C(n-c, k) / C(n, k)``, computed exactly with
+    integer binomials (no floating-point product drift).  ``k`` is
+    clamped to ``n`` — with fewer samples than ``k`` the estimate
+    degrades to pass@n, the standard convention for ragged sweeps.
+    """
+    if n < 1:
+        raise ValueError("need at least one sample")
+    if not 0 <= c <= n:
+        raise ValueError(f"correct count {c} outside [0, {n}]")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, n)
+    if c == 0:
+        return 0.0
+    if n - c < k:
+        return 1.0
+    return 1.0 - math.comb(n - c, k) / math.comb(n, k)
+
+
+@dataclass
+class MultiSampleResult:
+    """All samples of one (model, dataset, setting) multi-sample sweep.
+
+    ``samples[s]`` holds sample ``s``'s records for the same question
+    sequence (every sample evaluates every question; the runner's
+    sample-salted providers re-roll the per-question jitter while
+    keeping the model's calibration).  Aggregates the per-question
+    correct counts into unbiased :func:`pass_at_k` and majority-vote
+    ``consensus@k`` scores.
+    """
+
+    model_name: str
+    dataset_name: str
+    setting: str
+    samples: List[EvalResult] = field(default_factory=list)
+
+    def add_sample(self, result: EvalResult) -> None:
+        """Append one sample's :class:`EvalResult`."""
+        self.samples.append(result)
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples collected."""
+        return len(self.samples)
+
+    @property
+    def question_count(self) -> int:
+        """Number of questions per sample."""
+        return len(self.samples[0].records) if self.samples else 0
+
+    def _check(self) -> None:
+        if not self.samples:
+            raise ValueError("no samples")
+        counts = {len(s.records) for s in self.samples}
+        if len(counts) != 1:
+            raise ValueError(
+                f"ragged samples: record counts {sorted(counts)}")
+
+    def _per_question(self) -> List[Tuple[EvalRecord, int]]:
+        """(first-sample record, correct-count) per question position."""
+        self._check()
+        pairs = []
+        for i, record in enumerate(self.samples[0].records):
+            correct = sum(s.records[i].correct for s in self.samples)
+            pairs.append((record, correct))
+        return pairs
+
+    def pass_at_k(self, k: int) -> float:
+        """Mean unbiased pass@k over questions (n = sample count)."""
+        pairs = self._per_question()
+        n = self.sample_count
+        return sum(pass_at_k(n, c, k) for _, c in pairs) / len(pairs)
+
+    def pass_at_k_by_category(self, k: int) -> Dict[Category, float]:
+        """Per-category mean unbiased pass@k."""
+        buckets: Dict[Category, List[float]] = {}
+        n = self.sample_count
+        for record, c in self._per_question():
+            buckets.setdefault(record.category, []).append(
+                pass_at_k(n, c, k))
+        return {category: sum(scores) / len(scores)
+                for category, scores in buckets.items()}
+
+    def consensus_at_k(self, k: Optional[int] = None) -> float:
+        """Majority-vote accuracy over the first ``k`` samples.
+
+        Per question, the most frequent response string across samples
+        wins (ties break toward the earliest-appearing response); the
+        question scores correct iff a sample giving the winning
+        response was judged correct.  ``k=None`` uses every sample.
+        """
+        self._check()
+        k = self.sample_count if k is None else min(k, self.sample_count)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        used = self.samples[:k]
+        total = len(used[0].records)
+        score = 0
+        for i in range(total):
+            votes: Dict[str, int] = {}
+            verdicts: Dict[str, bool] = {}
+            for sample in used:
+                record = sample.records[i]
+                votes[record.response] = votes.get(record.response, 0) + 1
+                verdicts.setdefault(record.response, record.correct)
+            winner = max(votes, key=lambda r: (votes[r],
+                                               -list(votes).index(r)))
+            score += verdicts[winner]
+        return score / total
+
+    def as_dict(self, ks: Sequence[int] = (1, 5)) -> Dict[str, object]:
+        """JSON-serialisable summary (results_io artifacts, manifests)."""
+        usable = [k for k in ks if k >= 1]
+        return {
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "setting": self.setting,
+            "samples": self.sample_count,
+            "questions": self.question_count,
+            "pass_at_k": {str(k): self.pass_at_k(k) for k in usable},
+            "consensus_at_k": {
+                str(k): self.consensus_at_k(k) for k in usable},
+        }
+
+
 def bootstrap_ci(flags: Sequence[bool], confidence: float = 0.95,
                  resamples: int = 2000, seed: int = 7) -> Tuple[float, float]:
     """Bootstrap confidence interval of a pass rate."""

@@ -255,6 +255,16 @@ class LruCache:
         with self._lock:
             return self._entries.get(key, default)
 
+    def values(self) -> List[Any]:
+        """Snapshot of the in-memory tier's values, LRU-first.
+
+        Does not touch counters or recency; used by residency gauges
+        (e.g. ``StreamingDataset.peak_resident_questions``) to measure
+        what the memory tier is actually holding.
+        """
+        with self._lock:
+            return list(self._entries.values())
+
     def _store(self, key: Hashable, value: Any) -> None:
         """Insert into the in-memory tier only, counting evictions."""
         evicted = 0

@@ -46,6 +46,36 @@ def atomic_write_text(path: "Path | str", text: str) -> Path:
     return path
 
 
+def write_summary(path: "Path | str", payload: dict) -> Path:
+    """Write a checksummed JSON summary artifact atomically.
+
+    Used for run-level aggregates that do not fit the per-record JSONL
+    format — e.g. the multi-sample pass@k summaries of a scaled sweep.
+    The envelope carries a ``format_version`` and the SHA-256 of the
+    canonical payload dump, so a torn write or edit is detectable; the
+    ``.json`` suffix keeps these artifacts invisible to
+    :func:`verify_run`'s ``*.jsonl`` glob.
+    """
+    body = json.dumps(payload, sort_keys=True)
+    envelope = {
+        "format_version": FORMAT_VERSION,
+        "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+        "payload": payload,
+    }
+    return atomic_write_text(
+        path, json.dumps(envelope, sort_keys=True, indent=2) + "\n")
+
+
+def read_summary(path: "Path | str") -> dict:
+    """Load and integrity-check a :func:`write_summary` artifact."""
+    envelope = json.loads(Path(path).read_text(encoding="utf-8"))
+    body = json.dumps(envelope["payload"], sort_keys=True)
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    if digest != envelope.get("sha256"):
+        raise ValueError(f"summary checksum mismatch in {path}")
+    return envelope["payload"]
+
+
 def _records_checksum(record_lines: List[str]) -> str:
     """SHA-256 over the serialised record lines (joined with ``\\n``)."""
     payload = "\n".join(record_lines).encode("utf-8")

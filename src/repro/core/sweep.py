@@ -1,0 +1,283 @@
+"""Streaming scaled-dataset sweeps with multi-sample pass@k scoring.
+
+:func:`run_scaled_table2` is the scaled analogue of
+:func:`repro.core.harness.run_table2`: it evaluates a provider list
+over an ``n``-question procedurally scaled collection
+(:mod:`repro.core.databuild`), consuming the build **shard-by-shard**
+through :class:`~repro.core.databuild.StreamingDataset` — the
+:class:`~repro.core.runner.ParallelRunner` only ever sees one window of
+shards at a time, so peak memory is O(shard), not O(n), however large
+the sweep.
+
+Multi-sample scoring (``samples=k``) re-evaluates every question ``k``
+times through **sample-salted providers**: sample ``s`` of model ``m``
+is the same simulated architecture registered under ``m+s{s}`` — the
+quota-IRT outcome planner keys its per-question jitter on the provider
+name, so each sample is an independent draw from the model's calibrated
+per-category accuracy.  Sample 0 is the unsalted model, so a
+``samples=1`` sweep reproduces single-sample results exactly.  Counts
+per question feed the unbiased :func:`repro.core.metrics.pass_at_k`
+estimator and majority-vote consensus@k via
+:class:`~repro.core.metrics.MultiSampleResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import perfstats
+from repro.core.databuild import (StreamingDataset, disable_build_cache,
+                                  enable_build_cache)
+from repro.core.metrics import EvalResult, MultiSampleResult
+from repro.core.runner import ParallelRunner, WorkUnit
+
+
+def sample_provider_name(base: str, sample: int) -> str:
+    """Registry name of one sample of a model (sample 0 is unsalted)."""
+    if sample < 0:
+        raise ValueError("sample index must be >= 0")
+    return base if sample == 0 else f"{base}+s{sample}"
+
+
+def _build_sample_provider(base: str, sample: int):
+    """Build the salted provider for (``base``, ``sample``).
+
+    The clone shares the base model's architecture and calibration
+    table; only its *name* changes, which re-rolls the outcome
+    planner's per-question jitter — exactly the semantics of drawing
+    another sample at non-zero temperature.
+    """
+    from repro.models.providers import LocalProvider
+    from repro.models.zoo import build_vlm
+
+    vlm = build_vlm(base)
+    vlm.name = sample_provider_name(base, sample)
+    return LocalProvider(vlm)
+
+
+def ensure_sample_provider(base: str, sample: int) -> str:
+    """Register (idempotently) the salted provider; returns its name.
+
+    Sample 0 resolves to the already-registered base model.  The
+    factory closes over ``(base, sample)`` only, so with the ``fork``
+    start method process-backend workers rebuild identical providers
+    from the inherited registry.
+    """
+    name = sample_provider_name(base, sample)
+    if sample == 0:
+        return name
+    from repro.models.providers import register_provider
+
+    register_provider(
+        name,
+        lambda base=base, sample=sample: _build_sample_provider(
+            base, sample),
+        replace=True)
+    return name
+
+
+@dataclass
+class SweepReport:
+    """Everything a scaled multi-sample sweep produced.
+
+    ``results[model][setting]`` is a
+    :class:`~repro.core.metrics.MultiSampleResult` whose samples hold
+    the full record sequence in global question order.
+    """
+
+    dataset_name: str
+    total_questions: int
+    seed: int
+    samples: int
+    results: Dict[str, Dict[str, MultiSampleResult]]
+    peak_resident_questions: int = 0
+    perf_caches: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def table2_results(self) -> Dict[str, Dict[str, EvalResult]]:
+        """Sample-0 results in ``run_table2``'s return shape."""
+        return {
+            model: {setting: multi.samples[0]
+                    for setting, multi in settings.items()}
+            for model, settings in self.results.items()
+        }
+
+    def passk_summary(self, ks: Sequence[int] = (1, 5)) -> dict:
+        """JSON-serialisable pass@k / consensus@k summary artifact."""
+        usable = sorted({min(k, self.samples) for k in ks if k >= 1})
+        return {
+            "dataset": self.dataset_name,
+            "total_questions": self.total_questions,
+            "seed": self.seed,
+            "samples": self.samples,
+            "ks": usable,
+            "peak_resident_questions": self.peak_resident_questions,
+            "models": {
+                model: {setting: multi.as_dict(usable)
+                        for setting, multi in settings.items()}
+                for model, settings in self.results.items()
+            },
+        }
+
+    def render(self, ks: Sequence[int] = (1, 5)) -> str:
+        """Fixed-width pass@k / consensus@k table."""
+        usable = sorted({min(k, self.samples) for k in ks if k >= 1})
+        headers = ["model", "setting"]
+        for k in usable:
+            headers.append(f"pass@{k}")
+        for k in usable:
+            headers.append(f"cons@{k}")
+        rows: List[List[str]] = []
+        for model, settings in self.results.items():
+            for setting, multi in settings.items():
+                row = [model, setting]
+                row += [f"{multi.pass_at_k(k):.4f}" for k in usable]
+                row += [f"{multi.consensus_at_k(k):.4f}"
+                        for k in usable]
+                rows.append(row)
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+                  if rows else len(headers[i])
+                  for i in range(len(headers))]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(
+                cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def run_scaled_table2(
+    models: Sequence[str],
+    total: int,
+    seed: int = 0,
+    *,
+    samples: int = 1,
+    shard_size: Optional[int] = None,
+    include_challenge: bool = True,
+    harness=None,
+    runner: Optional[ParallelRunner] = None,
+    workers: int = 1,
+    run_dir: "Optional[Path | str]" = None,
+    resume: bool = True,
+    backend: Optional[str] = None,
+    spill_dir: "Optional[Path | str]" = None,
+    window_shards: Optional[int] = None,
+) -> SweepReport:
+    """Evaluate registry models over a scaled collection, streaming.
+
+    ``models`` must be provider *registry names* (strings) — sample
+    salting re-registers clones, which has no meaning for ad-hoc
+    provider objects.  Shards are evaluated in windows of
+    ``window_shards`` (default: just enough to keep ``workers``
+    busy); each window is one
+    :meth:`~repro.core.runner.ParallelRunner.run` call, so
+    checkpointing, retry, quarantine and backend fan-out all apply
+    per-window, and no more than a window of questions is ever
+    resident alongside the build cache's memory tier.
+
+    Returns a :class:`SweepReport`; per-window runner stats are folded
+    into :attr:`SweepReport.perf_caches` with
+    :func:`repro.core.perfstats.merge_counters` (the ``dataset_build``
+    entry shows build-cache hits/misses/spills for the whole sweep).
+    """
+    from repro.core.harness import EvaluationHarness
+    from repro.models.vlm import NO_CHOICE, WITH_CHOICE
+
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if not models:
+        raise ValueError("no models")
+    harness = harness or EvaluationHarness()
+    if runner is None:
+        runner = ParallelRunner(harness=harness, workers=workers,
+                                run_dir=run_dir, resume=resume,
+                                backend=backend, spill_dir=spill_dir)
+    settings = [WITH_CHOICE]
+    if include_challenge:
+        settings.append(NO_CHOICE)
+    provider_names = {
+        (base, s): ensure_sample_provider(base, s)
+        for base in models for s in range(samples)
+    }
+    streams = {
+        WITH_CHOICE: StreamingDataset(total, seed,
+                                      shard_size=shard_size),
+        NO_CHOICE: StreamingDataset(total, seed, shard_size=shard_size,
+                                    challenge=True),
+    }
+    stream = streams[WITH_CHOICE]
+    cells = len(models) * len(settings) * samples
+    if window_shards is None:
+        window_shards = max(1, math.ceil(runner.workers / cells))
+    merged: Dict[str, Dict[str, MultiSampleResult]] = {}
+    accumulators: Dict[tuple, EvalResult] = {}
+    for base in models:
+        merged[base] = {}
+        for setting in settings:
+            multi = MultiSampleResult(
+                model_name=base,
+                dataset_name=streams[setting].name,
+                setting=setting)
+            merged[base][setting] = multi
+            for s in range(samples):
+                result = EvalResult(
+                    model_name=provider_names[(base, s)],
+                    dataset_name=streams[setting].name,
+                    setting=setting)
+                accumulators[(base, setting, s)] = result
+                multi.add_sample(result)
+    perf: Dict[str, Dict[str, int]] = {}
+    try:
+        for window_start in range(0, stream.num_shards, window_shards):
+            if spill_dir is not None:
+                # Shards are fetched in the parent, between runner.run()
+                # calls — and the runner scopes perfstats.enable_spill to
+                # each run, detaching every cache (dataset_build included)
+                # on the way out.  Re-attach before fetching so warm
+                # sweeps serve shards from the on-disk build cache.
+                enable_build_cache(spill_dir)
+            window = range(window_start,
+                           min(window_start + window_shards,
+                               stream.num_shards))
+            units: List[WorkUnit] = []
+            keys: List[tuple] = []
+            for index in window:
+                shard_by_setting = {
+                    setting: streams[setting].shard(index)
+                    for setting in settings
+                }
+                for base in models:
+                    for setting in settings:
+                        for s in range(samples):
+                            units.append(WorkUnit(
+                                model=provider_names[(base, s)],
+                                dataset=shard_by_setting[setting],
+                                setting=setting))
+                            keys.append((base, setting, s))
+            outcome = runner.run(units).raise_on_failure()
+            for unit, key in zip(units, keys):
+                accumulators[key].records.extend(
+                    outcome.result_for(unit).records)
+            if runner.last_stats is not None:
+                perfstats.merge_counters(perf,
+                                         runner.last_stats.perf_caches)
+    finally:
+        if spill_dir is not None:
+            # scoped to the sweep, mirroring the runner's own spill scope
+            disable_build_cache()
+    report = SweepReport(
+        dataset_name=stream.name,
+        total_questions=total,
+        seed=seed,
+        samples=samples,
+        results=merged,
+        peak_resident_questions=max(
+            streams[setting].peak_resident_questions
+            for setting in settings),
+        perf_caches=perf,
+    )
+    return report

@@ -2,7 +2,10 @@
 machines, arithmetic and the 35 Digital ChipVQA questions built on them."""
 
 from repro.digital import arithmetic, expr, gates, kmap, sequential, verilog
-from repro.digital.questions import generate_digital_questions
+from repro.digital.questions import (
+    generate_digital_questions,
+    generate_digital_questions_scaled,
+)
 
 __all__ = [
     "arithmetic",
@@ -12,4 +15,5 @@ __all__ = [
     "sequential",
     "verilog",
     "generate_digital_questions",
+    "generate_digital_questions_scaled",
 ]

@@ -15,7 +15,7 @@ Visual-type budget for this category (see DESIGN.md): 16 schematics,
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.question import (
     AnswerKind,
@@ -1107,3 +1107,31 @@ def generate_digital_questions() -> List[Question]:
         for q in questions
     ]
     return questions
+
+
+#: Version of this family's question generators.  Folded into the
+#: content-addressed build-cache fingerprint (see
+#: :func:`repro.core.databuild.generator_fingerprint`): bump whenever a
+#: builder's output changes so stale cached shards are invalidated.
+GENERATOR_VERSION = "digital-1"
+
+
+def generate_digital_questions_scaled(
+    seed: int,
+    shard_index: int,
+    shard_size: int,
+    total: Optional[int] = None,
+) -> List[Question]:
+    """Digital Design members of one shard of a seeded scaled build.
+
+    Delegates to :func:`repro.core.databuild.family_scaled_questions`:
+    shard ``shard_index`` of the interleaved global sequence is built
+    (through the shard build cache) and this family's members are
+    returned in global order.  ``total`` clips the final shard of an
+    ``n``-question build.
+    """
+    from repro.core.databuild import family_scaled_questions
+    from repro.core.question import Category
+
+    return family_scaled_questions(
+        Category.DIGITAL, seed, shard_index, shard_size, total=total)

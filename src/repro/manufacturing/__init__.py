@@ -10,7 +10,10 @@ from repro.manufacturing import (
     spc,
     yieldmodel,
 )
-from repro.manufacturing.questions import generate_manufacturing_questions
+from repro.manufacturing.questions import (
+    generate_manufacturing_questions,
+    generate_manufacturing_questions_scaled,
+)
 
 __all__ = [
     "defects",
@@ -20,4 +23,5 @@ __all__ = [
     "spc",
     "yieldmodel",
     "generate_manufacturing_questions",
+    "generate_manufacturing_questions_scaled",
 ]

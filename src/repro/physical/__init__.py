@@ -13,7 +13,10 @@ from repro.physical import (
     sta,
     steiner,
 )
-from repro.physical.questions import generate_physical_questions
+from repro.physical.questions import (
+    generate_physical_questions,
+    generate_physical_questions_scaled,
+)
 
 __all__ = [
     "congestion",
@@ -26,4 +29,5 @@ __all__ = [
     "sta",
     "steiner",
     "generate_physical_questions",
+    "generate_physical_questions_scaled",
 ]

@@ -1,0 +1,154 @@
+"""Unit tests for the unbiased pass@k estimator and multi-sample results."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    EvalRecord,
+    EvalResult,
+    MultiSampleResult,
+    pass_at_k,
+)
+from repro.core.question import Category
+
+
+def brute_force_pass_at_k(n: int, c: int, k: int) -> float:
+    """Exact pass@k by enumerating every k-subset of the n samples."""
+    outcomes = [True] * c + [False] * (n - c)
+    k = min(k, n)
+    subsets = list(itertools.combinations(outcomes, k))
+    return sum(any(subset) for subset in subsets) / len(subsets)
+
+
+def test_matches_brute_force_enumeration():
+    for n in range(1, 7):
+        for c in range(n + 1):
+            for k in range(1, n + 1):
+                assert pass_at_k(n, c, k) == pytest.approx(
+                    brute_force_pass_at_k(n, c, k), abs=1e-12), (n, c, k)
+
+
+def test_degenerate_no_correct_samples():
+    assert pass_at_k(10, 0, 1) == 0.0
+    assert pass_at_k(10, 0, 10) == 0.0
+
+
+def test_degenerate_all_correct_samples():
+    assert pass_at_k(10, 10, 1) == 1.0
+    assert pass_at_k(3, 3, 2) == 1.0
+
+
+def test_k_larger_than_n_degrades_to_pass_at_n():
+    # k > n clamps to k = n: the estimate is P(any sample correct) = 1
+    # whenever c > 0.
+    assert pass_at_k(3, 1, 10) == 1.0
+    assert pass_at_k(3, 0, 10) == 0.0
+    assert pass_at_k(5, 2, 99) == pass_at_k(5, 2, 5)
+
+
+def test_pass_at_1_is_the_sample_mean():
+    for n in range(1, 8):
+        for c in range(n + 1):
+            assert pass_at_k(n, c, 1) == pytest.approx(c / n)
+
+
+def test_more_samples_cannot_hurt():
+    # pass@k is monotone non-decreasing in k for fixed (n, c).
+    for c in range(11):
+        values = [pass_at_k(10, c, k) for k in range(1, 11)]
+        assert values == sorted(values)
+
+
+def test_exact_binomial_identity():
+    n, c, k = 20, 7, 5
+    expected = 1.0 - math.comb(n - c, k) / math.comb(n, k)
+    assert pass_at_k(n, c, k) == pytest.approx(expected)
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ValueError):
+        pass_at_k(0, 0, 1)
+    with pytest.raises(ValueError):
+        pass_at_k(5, -1, 1)
+    with pytest.raises(ValueError):
+        pass_at_k(5, 6, 1)
+    with pytest.raises(ValueError):
+        pass_at_k(5, 2, 0)
+
+
+# -- MultiSampleResult --------------------------------------------------------
+
+
+def _sample(model, flags, responses=None):
+    result = EvalResult(model_name=model, dataset_name="d",
+                        setting="with_choice")
+    for i, correct in enumerate(flags):
+        response = (responses[i] if responses is not None
+                    else ("right" if correct else "wrong"))
+        result.add(EvalRecord(qid=f"q{i}", category=Category.DIGITAL,
+                              response=response, correct=correct))
+    return result
+
+
+def _multi(flag_rows, responses=None):
+    multi = MultiSampleResult(model_name="m", dataset_name="d",
+                              setting="with_choice")
+    for s, flags in enumerate(flag_rows):
+        row_responses = responses[s] if responses is not None else None
+        multi.add_sample(_sample(f"m+s{s}" if s else "m", flags,
+                                 row_responses))
+    return multi
+
+
+def test_multi_sample_pass_at_k_aggregates_per_question():
+    # q0 correct 3/3, q1 correct 1/3, q2 correct 0/3.
+    multi = _multi([[True, True, False],
+                    [True, False, False],
+                    [True, False, False]])
+    assert multi.sample_count == 3
+    assert multi.question_count == 3
+    expected_p1 = (1.0 + 1 / 3 + 0.0) / 3
+    assert multi.pass_at_k(1) == pytest.approx(expected_p1)
+    expected_p3 = (pass_at_k(3, 3, 3) + pass_at_k(3, 1, 3)
+                   + pass_at_k(3, 0, 3)) / 3
+    assert multi.pass_at_k(3) == pytest.approx(expected_p3)
+
+
+def test_multi_sample_single_sample_matches_pass_at_1():
+    flags = [True, False, True, True]
+    multi = _multi([flags])
+    assert multi.pass_at_k(1) == pytest.approx(
+        multi.samples[0].pass_at_1())
+
+
+def test_consensus_majority_vote():
+    # q0: "a" wins 2-1 and is correct; q1: "x" wins 2-1 and is wrong.
+    multi = _multi(
+        [[True, False], [True, True], [False, False]],
+        responses=[["a", "x"], ["a", "y"], ["b", "x"]])
+    assert multi.consensus_at_k(3) == pytest.approx(0.5)
+
+
+def test_consensus_tie_breaks_to_earliest_response():
+    # 1-1 tie between "a" (sample 0, correct) and "b" (sample 1, wrong).
+    multi = _multi([[True], [False]], responses=[["a"], ["b"]])
+    assert multi.consensus_at_k(2) == pytest.approx(1.0)
+
+
+def test_ragged_samples_rejected():
+    multi = _multi([[True, False]])
+    multi.add_sample(_sample("m+s1", [True]))
+    with pytest.raises(ValueError):
+        multi.pass_at_k(1)
+
+
+def test_as_dict_is_json_shaped():
+    import json
+
+    multi = _multi([[True, False], [False, False]])
+    payload = multi.as_dict(ks=(1, 2))
+    round_tripped = json.loads(json.dumps(payload))
+    assert round_tripped["samples"] == 2
+    assert round_tripped["pass_at_k"]["1"] == pytest.approx(0.25)
