@@ -1,0 +1,117 @@
+"""Coordinator fleet scaling and degraded-fleet wall time.
+
+Two shapes pinned for the multi-node sweep coordinator
+(docs/COORDINATOR.md), both on the CPU-bound regime — a
+:class:`~repro.core.faults.BusyBoundary` burns GIL-holding sha256
+chains inside every question, so inline nodes serialize on one core
+while process-group nodes spread across them:
+
+* **fleet scaling** — a 4-node process fleet beats a 1-node fleet by
+  >= 2x on the full-zoo Table II sweep;
+* **graceful degradation** — killing one of four nodes mid-sweep
+  (:class:`~repro.core.faults.NodeCrashBoundary`) costs <= 1.5x the
+  clean 4-node wall: the dead node's unit is stolen, the survivors
+  absorb its share, and the results match exactly.
+
+Both need real cores and skip below four; the parity smoke test runs
+anywhere.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.coordinator import SweepCoordinator
+from repro.core.faults import BusyBoundary, CompositeBoundary, \
+    NodeCrashBoundary
+from repro.core.harness import run_table2
+from repro.core.runner import ParallelRunner
+from repro.models import build_zoo
+
+#: sha256 chain length per question — roughly half a millisecond of
+#: GIL-holding CPU work, standing in for local decode/scoring compute.
+SPINS = 800
+
+FEW_CORES = (os.cpu_count() or 1) < 4
+
+
+def _timed_fleet(models, nodes, spins=SPINS, extra_boundary=None,
+                 **kwargs):
+    boundary = BusyBoundary(spins=spins)
+    if extra_boundary is not None:
+        boundary = CompositeBoundary(extra_boundary, boundary)
+    coordinator = SweepCoordinator(nodes=nodes, node_backend="process",
+                                   fault_boundary=boundary,
+                                   lease_s=120.0, **kwargs)
+    start = time.perf_counter()
+    results = run_table2(models, runner=coordinator)
+    return time.perf_counter() - start, results, coordinator
+
+
+def test_fleet_parity():
+    """Smoke (any machine): an inline 2-node fleet reproduces the solo
+    runner's numbers exactly on a compute-laden sub-sweep."""
+    models = build_zoo()[:2]
+    solo_runner = ParallelRunner(workers=1,
+                                 fault_boundary=BusyBoundary(spins=50))
+    solo = run_table2(models, runner=solo_runner)
+    fleet_coord = SweepCoordinator(nodes=2,
+                                   fault_boundary=BusyBoundary(spins=50))
+    fleet = run_table2(models, runner=fleet_coord)
+    for name, settings in solo.items():
+        for setting, result in settings.items():
+            assert fleet[name][setting].pass_at_1() == result.pass_at_1()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(FEW_CORES, reason="needs >= 4 CPU cores to show "
+                    "fleet scaling")
+def test_four_nodes_beat_one_on_cpu_bound_sweep():
+    """Acceptance: a 4-node process fleet >= 2x a 1-node fleet on the
+    CPU-bound full-zoo sweep, same numbers."""
+    zoo = build_zoo()
+    one_s, one, _ = _timed_fleet(zoo, nodes=1)
+    four_s, four, _ = _timed_fleet(zoo, nodes=4)
+
+    print(f"\nTable II sweep under {SPINS} sha256 spins/question of "
+          f"GIL-holding CPU work ({os.cpu_count()} cores)")
+    for label, elapsed in (("1 node", one_s), ("4 nodes", four_s)):
+        print(f"  {label:<8} {elapsed:6.2f} s   "
+              f"speedup {one_s / elapsed:4.1f}x")
+
+    assert one_s / four_s >= 2.0
+    for name, settings in one.items():
+        for setting, result in settings.items():
+            assert four[name][setting].pass_at_1() == result.pass_at_1()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(FEW_CORES, reason="needs >= 4 CPU cores to show "
+                    "degraded-fleet absorption")
+def test_one_dead_node_costs_at_most_half_again(tmp_path):
+    """Acceptance: killing one of four nodes mid-sweep costs <= 1.5x
+    the clean 4-node wall — the survivors steal and absorb its share."""
+    zoo = build_zoo()
+    clean_s, clean, _ = _timed_fleet(zoo, nodes=4)
+
+    # qid-only script: the first unit to cross dig-08 takes its node
+    # down (the flag file keeps the latch one-shot across processes)
+    crash = NodeCrashBoundary(flag_path=tmp_path / "crash.flag",
+                              crash_on="dig-08")
+    degraded_s, degraded, coordinator = _timed_fleet(
+        zoo, nodes=4, extra_boundary=crash)
+
+    counters = coordinator.last_stats.coordinator
+    print(f"\nclean 4-node {clean_s:.2f} s vs one-node-killed "
+          f"{degraded_s:.2f} s ({degraded_s / clean_s:.2f}x); "
+          f"nodes_lost={counters['nodes_lost']} "
+          f"units_stolen={counters['units_stolen']}")
+
+    assert counters["nodes_lost"] == 1
+    assert counters["units_stolen"] >= 1
+    assert degraded_s <= clean_s * 1.5
+    for name, settings in clean.items():
+        for setting, result in settings.items():
+            assert degraded[name][setting].pass_at_1() == \
+                result.pass_at_1()

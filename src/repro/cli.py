@@ -140,6 +140,92 @@ def _build_backend(args: argparse.Namespace):
                         rate_limit_per_s=rate, hedge_after_s=hedge)
 
 
+def _breaker_from_args(args: argparse.Namespace):
+    """Resolve ``--breaker``/``--breaker-cooldown`` to a CircuitBreaker.
+
+    ``--breaker-cooldown`` arms half-open probing: an open circuit is
+    retried with one trial unit once the cooldown elapses (see
+    docs/RESILIENCE.md).  Giving the cooldown without ``--breaker`` is
+    a configuration error — there is no breaker to cool down.
+    """
+    cooldown = getattr(args, "breaker_cooldown", None)
+    if args.breaker is None:
+        if cooldown is not None:
+            raise SystemExit("--breaker-cooldown requires --breaker")
+        return None
+    from repro.core.resilience import CircuitBreaker
+
+    return CircuitBreaker(args.breaker, cooldown_s=cooldown)
+
+
+def _build_runner(args: argparse.Namespace, harness):
+    """Resolve the sweep's execution engine from the CLI flags.
+
+    ``--nodes N`` (N > 1) builds a fault-tolerant
+    :class:`~repro.core.coordinator.SweepCoordinator` fleet — inline
+    nodes by default, process-group nodes under ``--backend process`` —
+    with lease-based work-stealing and exactly-once commit accounting
+    (docs/COORDINATOR.md).  Otherwise a single
+    :class:`~repro.core.runner.ParallelRunner` with the requested
+    backend.  The two parallelism knobs are exclusive: a coordinated
+    fleet runs one unit per node.
+    """
+    from repro.core.resilience import QuarantinePolicy
+    from repro.core.runner import ParallelRunner
+
+    quarantine = QuarantinePolicy() if args.quarantine else None
+    breaker = _breaker_from_args(args)
+    nodes = getattr(args, "nodes", 1)
+    if nodes < 1:
+        print(f"warning: --nodes {nodes} is below 1; using 1")
+        nodes = 1
+    if nodes > 1:
+        if args.workers != 1:
+            raise SystemExit(
+                "--nodes and --workers are exclusive: a coordinated "
+                "fleet runs one unit per node")
+        if (args.backend in ("thread", "async")
+                or getattr(args, "rate_limit", None) is not None
+                or getattr(args, "hedge_after", None) is not None):
+            raise SystemExit(
+                "--nodes runs inline nodes by default or process-group "
+                "nodes under --backend process; thread/async backends "
+                "and their scheduling knobs do not apply to a fleet")
+        from repro.core.coordinator import SweepCoordinator
+
+        return SweepCoordinator(
+            nodes=nodes,
+            harness=harness,
+            node_backend=("process" if args.backend == "process"
+                          else "inline"),
+            run_dir=args.run_dir,
+            resume=not args.no_resume,
+            quarantine=quarantine,
+            breaker=breaker,
+            deadline_s=args.deadline,
+            spill_dir=args.spill_dir)
+    return ParallelRunner(
+        harness=harness,
+        workers=_effective_workers(args.workers, args.backend),
+        run_dir=args.run_dir,
+        resume=not args.no_resume,
+        quarantine=quarantine,
+        breaker=breaker,
+        deadline_s=args.deadline,
+        backend=_build_backend(args),
+        spill_dir=args.spill_dir)
+
+
+def _print_coordinator_stats(stats) -> None:
+    """Dump a coordinated run's fleet counters (docs/COORDINATOR.md)."""
+    coordinator = getattr(stats, "coordinator", None)
+    if not coordinator:
+        return
+    print(f"\n{'fleet counter':<20}{'value':>8}")
+    for key, value in sorted(coordinator.items()):
+        print(f"{key:<20}{value:>8}")
+
+
 def _print_resilience_warnings(stats) -> None:
     """Surface salvage/integrity events a long sweep must not hide."""
     if stats is None:
@@ -160,6 +246,23 @@ def _print_resilience_warnings(stats) -> None:
     if stats.fast_failed:
         print(f"warning: {stats.fast_failed} unit(s) fast-failed by an "
               f"open circuit breaker")
+    coordinator = getattr(stats, "coordinator", None) or {}
+    if coordinator.get("nodes_lost"):
+        print(f"warning: {coordinator['nodes_lost']} of "
+              f"{coordinator.get('nodes', '?')} coordinator node(s) lost "
+              f"mid-sweep; the surviving fleet finished the run")
+    if coordinator.get("units_stolen"):
+        print(f"warning: {coordinator['units_stolen']} unit(s) stolen "
+              f"from expired leases "
+              f"({coordinator.get('lease_expirations', 0)} lease "
+              f"expiration(s)) and re-executed exactly-once")
+    if coordinator.get("commit_repairs"):
+        print(f"warning: commit log had a torn tail; "
+              f"{coordinator['commit_repairs']} entrie(s) dropped and "
+              f"their units re-reconciled")
+    if coordinator.get("store_quarantined"):
+        print(f"warning: {coordinator['store_quarantined']} corrupt "
+              f"shared-store entrie(s) quarantined and rebuilt")
 
 
 def _wrap_provider(provider, args: argparse.Namespace):
@@ -200,8 +303,6 @@ def _cmd_table2_scaled(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.core.question import TOTAL_QUESTIONS
-    from repro.core.resilience import CircuitBreaker, QuarantinePolicy
-    from repro.core.runner import ParallelRunner
     from repro.core.sweep import run_scaled_table2
 
     if args.provider != "local":
@@ -213,17 +314,7 @@ def _cmd_table2_scaled(args: argparse.Namespace) -> int:
     samples = _effective_samples(args.samples)
     seed = args.dataset_seed if args.dataset_seed is not None else 0
     harness = EvaluationHarness()
-    runner = ParallelRunner(
-        harness=harness,
-        workers=_effective_workers(args.workers, args.backend),
-        run_dir=args.run_dir,
-        resume=not args.no_resume,
-        quarantine=QuarantinePolicy() if args.quarantine else None,
-        breaker=(CircuitBreaker(args.breaker)
-                 if args.breaker is not None else None),
-        deadline_s=args.deadline,
-        backend=_build_backend(args),
-        spill_dir=args.spill_dir)
+    runner = _build_runner(args, harness)
     report = run_scaled_table2(
         names, limit, seed, samples=samples,
         shard_size=args.shard_size, runner=runner,
@@ -248,13 +339,11 @@ def _cmd_table2_scaled(args: argparse.Namespace) -> int:
     _print_resilience_warnings(runner.last_stats)
     if args.cache_stats:
         _print_cache_stats(report.perf_caches)
+        _print_coordinator_stats(runner.last_stats)
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from repro.core.resilience import CircuitBreaker, QuarantinePolicy
-    from repro.core.runner import ParallelRunner
-
     if (args.limit is not None or args.dataset_seed is not None
             or args.samples != 1):
         return _cmd_table2_scaled(args)
@@ -264,17 +353,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     else:
         models = build_zoo()
     models = [_wrap_provider(provider, args) for provider in models]
-    runner = ParallelRunner(
-        harness=harness,
-        workers=_effective_workers(args.workers, args.backend),
-        run_dir=args.run_dir,
-        resume=not args.no_resume,
-        quarantine=QuarantinePolicy() if args.quarantine else None,
-        breaker=(CircuitBreaker(args.breaker)
-                 if args.breaker is not None else None),
-        deadline_s=args.deadline,
-        backend=_build_backend(args),
-        spill_dir=args.spill_dir)
+    runner = _build_runner(args, harness)
     results = run_table2(models, harness, runner=runner)
     print(render_table2(results, dict(TABLE2_ROW_ORDER)))
     if args.run_dir:
@@ -284,6 +363,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     _print_resilience_warnings(runner.last_stats)
     if args.cache_stats:
         _print_cache_stats(runner.last_stats)
+        _print_coordinator_stats(runner.last_stats)
     return 0
 
 
@@ -490,6 +570,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "an asyncio event loop for the API-bound "
                          "regime (default: serial at --workers 1, "
                          "thread otherwise; see docs/RUNNER.md)")
+    p2.add_argument("--nodes", type=int, default=1, metavar="N",
+                    help="dispatch the sweep across N fault-tolerant "
+                         "coordinator nodes with lease-based "
+                         "work-stealing and exactly-once commit "
+                         "accounting (inline nodes by default, process "
+                         "groups under --backend process; exclusive "
+                         "with --workers; see docs/COORDINATOR.md)")
     p2.add_argument("--rate-limit", type=float, default=None,
                     metavar="R",
                     help="client-side per-provider request budget in "
@@ -521,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="open a per-model circuit breaker after K "
                          "consecutive unit failures and fast-fail the "
                          "model's remaining units")
+    p2.add_argument("--breaker-cooldown", type=float, default=None,
+                    metavar="S",
+                    help="let an open circuit go half-open after S "
+                         "seconds and probe it with a single trial "
+                         "unit; success fully closes the circuit, "
+                         "failure re-arms the cooldown (requires "
+                         "--breaker; see docs/RESILIENCE.md)")
     p2.add_argument("--deadline", type=float, default=None, metavar="S",
                     help="per-unit wall-time deadline in seconds; "
                          "overdue units are marked timed_out")

@@ -244,6 +244,9 @@ class WorkerOptions:
     quarantine: Optional[QuarantinePolicy] = None
     deadline_s: Optional[float] = None
     spill_root: Optional[str] = None
+    #: when set, the worker touches this file at every fault-boundary
+    #: crossing (a cross-process heartbeat for the sweep coordinator)
+    heartbeat_file: Optional[str] = None
 
 
 @dataclass
@@ -287,6 +290,15 @@ def process_worker(spec: UnitSpec, options: WorkerOptions) -> WorkerResult:
 
     if options.spill_root is not None:
         perfstats.enable_spill(options.spill_root)
+    boundary = options.fault_boundary
+    if options.heartbeat_file is not None:
+        from repro.core.faults import CompositeBoundary, FileHeartbeatBoundary
+
+        # heartbeat first: the node must register as alive even on
+        # crossings where a composed fault injector raises
+        heartbeat = FileHeartbeatBoundary(options.heartbeat_file)
+        boundary = (CompositeBoundary(heartbeat, boundary)
+                    if boundary is not None else heartbeat)
     perf_before = perfstats.snapshot()
     start = time.perf_counter()
     unit = spec.build_unit()
@@ -295,7 +307,7 @@ def process_worker(spec: UnitSpec, options: WorkerOptions) -> WorkerResult:
         harness=options.harness,
         workers=1,
         retry=options.retry,
-        fault_boundary=options.fault_boundary,
+        fault_boundary=boundary,
         quarantine=options.quarantine,
     )
     deadline = (Deadline(options.deadline_s)
@@ -389,13 +401,18 @@ class ThreadBackend:
             return [future.result() for future in futures]
 
 
-def _default_context() -> multiprocessing.context.BaseContext:
+def default_mp_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` when available: workers inherit warm caches and
     runtime registrations (providers, dataset builders); fall back to
-    the platform default elsewhere."""
+    the platform default elsewhere.  Shared by :class:`ProcessBackend`
+    and the sweep coordinator's process-mode nodes."""
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+#: Backwards-compatible private alias.
+_default_context = default_mp_context
 
 
 class ProcessBackend:

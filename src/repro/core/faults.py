@@ -58,6 +58,18 @@ class SimulatedCrash(RuntimeError):
     """
 
 
+class NodeKilled(RuntimeError):
+    """A coordinator node died mid-unit (chaos injection or real).
+
+    Raised when a :class:`~repro.core.coordinator.Node`'s process group
+    breaks (``BrokenProcessPool``, SIGKILL) or when the chaos harness
+    scripts an in-process node death.  Like :class:`SimulatedCrash` it
+    is *not* a :class:`ModelCallError` — no retry/quarantine layer may
+    absorb it; only the coordinator's lease/steal machinery handles it,
+    by requeueing the node's unit for a healthy sibling.
+    """
+
+
 class FaultBoundary:
     """Base boundary: never faults.
 
@@ -249,6 +261,110 @@ class WorkerKillBoundary(FaultBoundary):
             return
         os.close(fd)
         os.kill(os.getpid(), signal.SIGKILL)
+
+
+class NodeCrashBoundary(FaultBoundary):
+    """Kill the executing coordinator node at a scripted crossing.
+
+    The in-process analogue of :class:`WorkerKillBoundary` for
+    coordinator chaos tests: instead of SIGKILLing a worker process it
+    raises :class:`NodeKilled`, which escapes the evaluation stack
+    (nothing below the coordinator absorbs it) and takes the node out
+    of the fleet mid-unit.  ``crash_on`` is a qid or ``"unit_id::qid"``.
+    The one-shot latch is a flag file claimed with ``O_EXCL`` — exactly
+    as in :class:`WorkerKillBoundary` — so the crossing faults once per
+    flag even across the re-execution that work-stealing triggers.
+    """
+
+    def __init__(self, flag_path: "Path | str", crash_on: str):
+        self.flag_path = str(flag_path)
+        self.crash_on = crash_on
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if qid != self.crash_on and f"{unit_id}::{qid}" != self.crash_on:
+            return
+        try:
+            fd = os.open(self.flag_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        raise NodeKilled(f"injected node death at {unit_id}::{qid}")
+
+
+class GateBoundary(FaultBoundary):
+    """Wedge the executing node at a scripted crossing (never faults).
+
+    Models a heartbeat blackout: the node thread blocks inside the
+    crossing, so it stops beating and stops renewing its lease while
+    remaining alive — the coordinator must steal its unit and a healthy
+    node must finish it.  ``block_on`` is a qid or ``"unit_id::qid"``.
+    The flag-file latch makes the gate one-shot, so the stolen
+    re-execution of the same unit passes straight through.  The block
+    releases when :meth:`release` is called or after ``max_block_s``
+    (so a test's wedged thread always unwinds before the run is torn
+    down).  Thread-state (an Event) makes this inline-node only.
+    """
+
+    def __init__(self, flag_path: "Path | str", block_on: str,
+                 max_block_s: float = 30.0):
+        if max_block_s <= 0:
+            raise ValueError("max_block_s must be > 0")
+        self.flag_path = str(flag_path)
+        self.block_on = block_on
+        self.max_block_s = max_block_s
+        self._gate = threading.Event()
+
+    def release(self) -> None:
+        """Unblock a currently-gated (and any future) crossing."""
+        self._gate.set()
+
+    def check(self, unit_id: str, qid: str) -> None:
+        if qid != self.block_on and f"{unit_id}::{qid}" != self.block_on:
+            return
+        try:
+            fd = os.open(self.flag_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        self._gate.wait(timeout=self.max_block_s)
+
+
+class HeartbeatBoundary(FaultBoundary):
+    """Invoke a beat callback on every crossing (never faults).
+
+    The coordinator composes this *first* in a node's boundary chain so
+    each evaluated question doubles as a liveness signal: the callback
+    renews the node's lease.  Carries a live callable, hence not
+    picklable — inline nodes only; process nodes use
+    :class:`FileHeartbeatBoundary`.
+    """
+
+    def __init__(self, beat: Callable[[], None]):
+        self._beat = beat
+
+    def check(self, unit_id: str, qid: str) -> None:
+        self._beat()
+
+
+class FileHeartbeatBoundary(FaultBoundary):
+    """Touch a file on every crossing (never faults; picklable).
+
+    The cross-process heartbeat: a worker process cannot call back into
+    the coordinator, so it bumps a per-node file's mtime instead and
+    the coordinator's monitor reads the advancing mtime as liveness.
+    No locks or live objects, so instances pickle cleanly into process
+    workers.
+    """
+
+    def __init__(self, path: "Path | str"):
+        self.path = str(path)
+
+    def check(self, unit_id: str, qid: str) -> None:
+        with open(self.path, "ab"):
+            pass
+        os.utime(self.path, None)
 
 
 class CompositeBoundary(FaultBoundary):

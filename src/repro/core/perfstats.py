@@ -38,7 +38,7 @@ class CacheStats:
     """Thread-safe hit/miss/eviction counters for one named cache."""
 
     __slots__ = ("name", "_lock", "hits", "misses", "evictions",
-                 "spill_hits", "spill_misses")
+                 "spill_hits", "spill_misses", "spill_corrupt")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -48,6 +48,7 @@ class CacheStats:
         self.evictions = 0
         self.spill_hits = 0
         self.spill_misses = 0
+        self.spill_corrupt = 0
 
     def record_hit(self, count: int = 1) -> None:
         with self._lock:
@@ -71,6 +72,11 @@ class CacheStats:
         with self._lock:
             self.spill_misses += count
 
+    def record_spill_corrupt(self, count: int = 1) -> None:
+        """A spill entry evicted because it no longer parsed/decoded."""
+        with self._lock:
+            self.spill_corrupt += count
+
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when untouched)."""
         with self._lock:
@@ -86,6 +92,8 @@ class CacheStats:
             if self.spill_hits or self.spill_misses:
                 data["spill_hits"] = self.spill_hits
                 data["spill_misses"] = self.spill_misses
+            if self.spill_corrupt:
+                data["spill_corrupt"] = self.spill_corrupt
             return data
 
     def reset(self) -> None:
@@ -95,6 +103,7 @@ class CacheStats:
             self.evictions = 0
             self.spill_hits = 0
             self.spill_misses = 0
+            self.spill_corrupt = 0
 
 
 #: A spill codec: ``(encode, decode)`` where ``encode(value)`` returns a
@@ -115,32 +124,62 @@ class SpillStore:
     processes.  Writes are atomic (pid-unique temp file, then rename),
     so concurrent workers can never observe a torn entry; an existing
     entry is never rewritten, which makes write-through from many
-    sibling processes cheap.  Unreadable or undecodable entries degrade
-    to a miss.
+    sibling processes cheap.
+
+    A *corrupt* entry — one that exists but no longer parses or decodes
+    (an external truncation, a bit flip on disk) — is **quarantined**:
+    the bad file is evicted so the next put can rebuild it, the event is
+    counted in the owning cache's ``spill_corrupt`` counter (when
+    ``stats`` is attached), and the lookup degrades to a miss so the
+    caller recomputes instead of crashing.  A missing entry is a plain
+    miss and touches no counter.
     """
 
     def __init__(self, root: "Path | str", name: str,
                  encode: Callable[[Any], Any],
-                 decode: Callable[[Any], Any]) -> None:
+                 decode: Callable[[Any], Any],
+                 stats: Optional[CacheStats] = None) -> None:
         self.root = Path(root) / name
         self._encode = encode
         self._decode = decode
+        self.stats = stats
 
     def path_for(self, key: Hashable) -> Path:
         """Deterministic on-disk location of ``key``'s entry."""
         digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
         return self.root / digest[:2] / (digest + ".json")
 
+    def evict(self, key: Hashable) -> bool:
+        """Remove ``key``'s entry from disk; True if a file was removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def _quarantine(self, key: Hashable) -> None:
+        """Evict a corrupt entry and count it (never raises)."""
+        self.evict(key)
+        if self.stats is not None:
+            self.stats.record_spill_corrupt()
+
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Decode the stored value for ``key``, or ``default``."""
+        """Decode the stored value for ``key``, or ``default``.
+
+        Corrupt entries are quarantined (evicted + counted) and fall
+        through to ``default`` so callers recompute; see the class
+        docstring.
+        """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
             return default
         try:
+            payload = json.loads(text)
             return self._decode(payload)
         except (KeyError, TypeError, ValueError):
+            self._quarantine(key)
             return default
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -407,7 +446,8 @@ def enable_spill(root: "Path | str") -> List[str]:
             if cache.spill_codec is None:
                 continue
             encode, decode = cache.spill_codec
-            cache.attach_spill(SpillStore(root, name, encode, decode))
+            cache.attach_spill(SpillStore(root, name, encode, decode,
+                                          stats=cache.stats))
             attached.append(name)
         _SPILL_ROOT = str(root)
     return attached

@@ -10,7 +10,8 @@ pieces the :class:`~repro.core.runner.ParallelRunner` wires together:
 * :class:`CircuitBreaker` — per-model breaker that opens after K
   *consecutive* unit failures (permanent faults, exhausted transient
   retries, or deadline timeouts) and fast-fails that model's remaining
-  units;
+  units; with ``cooldown_s`` set it half-opens after the cooldown and
+  admits one trial unit before fully re-closing;
 * :class:`Deadline` / :class:`DeadlineExceeded` — a per-unit time
   budget checked at every fault-boundary crossing, so an overdue unit
   resolves as ``timed_out`` instead of looping through retries;
@@ -66,47 +67,92 @@ class CircuitBreaker:
     crossing the fault boundary or spending retry backoff — the
     failure mode of a revoked credential or a melted-down provider.
 
-    There is deliberately no time-based half-open probe: a sweep is a
-    finite batch job, so the breaker stays open for the rest of the run
-    unless :meth:`reset` is called (a relaunch starts closed).
+    With ``cooldown_s`` set, an open circuit becomes **half-open** once
+    the cooldown has elapsed since it (last) opened: :meth:`allow`
+    admits exactly one *trial* unit, whose outcome decides the
+    circuit's fate — success closes it fully, failure re-opens it and
+    re-arms the cooldown.  This keeps a transiently melted-down
+    provider from being locked out for the rest of a long sweep or a
+    multi-node coordinated run.  Without ``cooldown_s`` (the default)
+    the historical semantics hold: the circuit stays open for the rest
+    of the run unless :meth:`reset` is called (a relaunch starts
+    closed).
     """
 
-    def __init__(self, failure_threshold: int = 3):
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s is not None and cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
         self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
         self._lock = threading.Lock()
         self._consecutive: Dict[str, int] = {}
         self._open: Dict[str, str] = {}        # key -> opening error
+        self._opened_at: Dict[str, float] = {}  # key -> (re)open time
+        self._trial: set = set()               # keys with a probe in flight
         self._fast_fails: Dict[str, int] = {}
 
+    def _cooled_down(self, key: str) -> bool:
+        """(Lock held.)  Has ``key``'s open circuit finished cooling?"""
+        if self.cooldown_s is None:
+            return False
+        opened = self._opened_at.get(key)
+        return opened is not None and (
+            self._clock() - opened >= self.cooldown_s)
+
     def allow(self, key: str) -> bool:
-        """True while the circuit for ``key`` is closed."""
+        """True while the circuit for ``key`` is closed — or when a
+        cooled-down open circuit admits this call as its half-open
+        trial (one probe at a time)."""
         with self._lock:
-            return key not in self._open
+            if key not in self._open:
+                return True
+            if key in self._trial or not self._cooled_down(key):
+                return False
+            self._trial.add(key)
+            return True
 
     def check(self, key: str) -> None:
-        """Raise :class:`CircuitOpenError` if the circuit is open."""
-        with self._lock:
-            if key in self._open:
-                raise CircuitOpenError(
-                    f"circuit open for {key!r} after "
-                    f"{self.failure_threshold} consecutive failures "
-                    f"(last: {self._open[key]})")
+        """Raise :class:`CircuitOpenError` if the circuit is open (and
+        not admitting a half-open trial)."""
+        if not self.allow(key):
+            with self._lock:
+                last = self._open.get(key, "failure threshold reached")
+            raise CircuitOpenError(
+                f"circuit open for {key!r} after "
+                f"{self.failure_threshold} consecutive failures "
+                f"(last: {last})")
 
     def record_success(self, key: str) -> None:
-        """A unit of ``key`` completed: reset its consecutive counter."""
+        """A unit of ``key`` completed: reset its consecutive counter
+        (and fully close a half-open circuit whose trial succeeded)."""
         with self._lock:
             self._consecutive[key] = 0
+            self._open.pop(key, None)
+            self._opened_at.pop(key, None)
+            self._trial.discard(key)
 
     def record_failure(self, key: str, error: str = "") -> bool:
         """A unit of ``key`` failed; returns True if this trip opened
-        the circuit."""
+        the circuit.  A failed half-open trial re-opens the circuit and
+        re-arms the cooldown."""
         with self._lock:
+            if key in self._open:
+                # a failed trial (or straggler): stay open, fresh cooldown
+                self._opened_at[key] = self._clock()
+                self._trial.discard(key)
+                if error:
+                    self._open[key] = error
+                return False
             count = self._consecutive.get(key, 0) + 1
             self._consecutive[key] = count
-            if count >= self.failure_threshold and key not in self._open:
+            if count >= self.failure_threshold:
                 self._open[key] = error or "failure threshold reached"
+                self._opened_at[key] = self._clock()
                 return True
             return False
 
@@ -116,8 +162,18 @@ class CircuitBreaker:
             self._fast_fails[key] = self._fast_fails.get(key, 0) + 1
 
     def state(self, key: str) -> str:
-        """``"open"`` or ``"closed"`` for ``key``."""
-        return "closed" if self.allow(key) else "open"
+        """``"closed"``, ``"open"`` or ``"half_open"`` for ``key``.
+
+        Half-open means the circuit is open but its cooldown has
+        elapsed (or a trial probe is already in flight), so the next
+        :meth:`allow` admits — or has admitted — a trial unit.
+        """
+        with self._lock:
+            if key not in self._open:
+                return "closed"
+            if key in self._trial or self._cooled_down(key):
+                return "half_open"
+            return "open"
 
     def open_keys(self) -> List[str]:
         """Sorted keys whose circuits are currently open."""
@@ -137,18 +193,31 @@ class CircuitBreaker:
             if key is None:
                 self._consecutive.clear()
                 self._open.clear()
+                self._opened_at.clear()
+                self._trial.clear()
             else:
                 self._consecutive.pop(key, None)
                 self._open.pop(key, None)
+                self._opened_at.pop(key, None)
+                self._trial.discard(key)
 
     def as_dict(self) -> Dict[str, object]:
-        """Manifest-ready snapshot: open circuits and fast-fail counts."""
+        """Manifest-ready snapshot: open circuits and fast-fail counts.
+
+        ``cooldown_s``/``half_open`` appear only when half-open probing
+        is configured, keeping snapshots byte-stable for the default
+        configuration.
+        """
         with self._lock:
-            return {
+            data: Dict[str, object] = {
                 "failure_threshold": self.failure_threshold,
                 "open": sorted(self._open),
                 "fast_fails": dict(sorted(self._fast_fails.items())),
             }
+            if self.cooldown_s is not None:
+                data["cooldown_s"] = self.cooldown_s
+                data["half_open"] = sorted(self._trial)
+            return data
 
 
 class Deadline:

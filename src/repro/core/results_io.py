@@ -30,6 +30,10 @@ from repro.core.question import Category
 FORMAT_VERSION = 2
 #: Versions :func:`loads` accepts; v1 predates checksums.
 SUPPORTED_VERSIONS = (1, 2)
+#: The sweep coordinator's commit log inside a run directory.  It is a
+#: JSONL file but *not* a checkpoint: :func:`verify_run` audits it via
+#: the coordinator's hash-chain verifier instead of :func:`verify_file`.
+COMMIT_LOG_NAME = "commits.jsonl"
 
 
 def atomic_write_text(path: "Path | str", text: str) -> Path:
@@ -269,15 +273,30 @@ def verify_file(path: "Path | str") -> FileAudit:
                      records=len(result.records), detail=detail)
 
 
+def _verify_commit_log(path: Path) -> FileAudit:
+    """Audit a coordinator commit log through its sha256 hash chain."""
+    # imported lazily: coordinator imports this module at load time
+    from repro.core.coordinator import audit_commit_log
+
+    valid, total, detail = audit_commit_log(path)
+    if valid == total:
+        return FileAudit(name=path.name, status="ok", records=valid)
+    return FileAudit(
+        name=path.name, status="corrupt", records=valid,
+        detail=f"chain broken at entry {valid + 1}/{total}: {detail}")
+
+
 def verify_run(run_dir: "Path | str",
                manifest_name: str = "manifest.json") -> RunAudit:
     """Audit every artifact in a run directory.
 
     Checks each ``*.jsonl`` checkpoint (parse + record count +
     checksum) and, when a runner ``manifest.json`` is present, that
-    every checkpoint it references exists on disk.  Stray ``*.tmp``
-    files (evidence of an interrupted atomic write) are ignored — the
-    rename discipline means the final artifacts are still whole.
+    every checkpoint it references exists on disk.  A coordinator
+    commit log (:data:`COMMIT_LOG_NAME`) is audited through its hash
+    chain rather than the checkpoint parser.  Stray ``*.tmp`` files
+    (evidence of an interrupted atomic write) are ignored — the rename
+    discipline means the final artifacts are still whole.
     """
     run_dir = Path(run_dir)
     if not run_dir.is_dir():
@@ -286,7 +305,10 @@ def verify_run(run_dir: "Path | str",
     seen = set()
     for path in sorted(run_dir.glob("*.jsonl")):
         seen.add(path.name)
-        audit.files.append(verify_file(path))
+        if path.name == COMMIT_LOG_NAME:
+            audit.files.append(_verify_commit_log(path))
+        else:
+            audit.files.append(verify_file(path))
     manifest_path = run_dir / manifest_name
     if manifest_path.exists():
         try:

@@ -182,6 +182,8 @@ class UnitStats:
     corrupt_checkpoints: int = 0  # resume files rejected: parse/checksum
     stale_checkpoints: int = 0    # resume files rejected: metadata mismatch
     worker_respawns: int = 0      # process-backend worker deaths absorbed
+    node: Optional[str] = None    # coordinator node that committed the unit
+    steals: int = 0               # times a lease on this unit was stolen
     error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -198,6 +200,8 @@ class UnitStats:
             "corrupt_checkpoints": self.corrupt_checkpoints,
             "stale_checkpoints": self.stale_checkpoints,
             "worker_respawns": self.worker_respawns,
+            "node": self.node,
+            "steals": self.steals,
             "error": self.error,
         }
 
@@ -210,6 +214,7 @@ class RunStats:
         self._units: Dict[str, UnitStats] = {}
         self._perf_caches: Dict[str, Dict[str, int]] = {}
         self._absorbed_perf: Dict[str, Dict[str, int]] = {}
+        self._coordinator: Dict[str, int] = {}
 
     def unit(self, unit_id: str) -> UnitStats:
         with self._lock:
@@ -306,11 +311,28 @@ class RunStats:
             }
             return perfstats.merge_counters(merged, self._absorbed_perf)
 
+    def record_coordinator(self, counters: Dict[str, int]) -> None:
+        """Attach the sweep coordinator's fleet counters (nodes lost,
+        units stolen, lease expirations, commit accounting, shared-store
+        traffic) to the run telemetry; they surface in :meth:`as_dict`
+        (hence the manifest) and ``--cache-stats``."""
+        with self._lock:
+            self._coordinator = dict(counters)
+
+    @property
+    def coordinator(self) -> Dict[str, int]:
+        """Fleet counters of a coordinated run (empty for plain runs)."""
+        with self._lock:
+            return dict(self._coordinator)
+
     def total_wall_time(self) -> float:
         return sum(u.wall_time_s for u in self.units())
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        coordinator = self.coordinator
+        extra: Dict[str, object] = (
+            {"coordinator": coordinator} if coordinator else {})
+        return dict({
             "units": len(self.units()),
             "completed": self.completed,
             "failed": self.failed,
@@ -326,7 +348,7 @@ class RunStats:
             "cache_hit_rate": round(self.cache_hit_rate(), 6),
             "wall_time_s": round(self.total_wall_time(), 6),
             "perf_caches": self.perf_caches,
-        }
+        }, **extra)
 
 
 #: Unit statuses that count as failures in ``RunOutcome.failures``.

@@ -26,13 +26,20 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.core import perfstats
 from repro.core.databuild import (StreamingDataset, disable_build_cache,
                                   enable_build_cache)
 from repro.core.metrics import EvalResult, MultiSampleResult
 from repro.core.runner import ParallelRunner, WorkUnit
+
+if TYPE_CHECKING:
+    from repro.core.coordinator import SweepCoordinator
+
+#: Anything that can drive a sweep window: a single parallel runner or
+#: a coordinated multi-node fleet (both expose run/workers/last_stats).
+SweepRunner = Union[ParallelRunner, "SweepCoordinator"]
 
 
 def sample_provider_name(base: str, sample: int) -> str:
@@ -159,8 +166,9 @@ def run_scaled_table2(
     shard_size: Optional[int] = None,
     include_challenge: bool = True,
     harness=None,
-    runner: Optional[ParallelRunner] = None,
+    runner: Optional[SweepRunner] = None,
     workers: int = 1,
+    nodes: int = 1,
     run_dir: "Optional[Path | str]" = None,
     resume: bool = True,
     backend: Optional[str] = None,
@@ -179,6 +187,14 @@ def run_scaled_table2(
     per-window, and no more than a window of questions is ever
     resident alongside the build cache's memory tier.
 
+    ``nodes > 1`` dispatches each window through a fault-tolerant
+    :class:`~repro.core.coordinator.SweepCoordinator` fleet instead of
+    a single runner: node deaths mid-window are absorbed by lease
+    expiry and work-stealing, and the sweep still converges to the
+    same artifacts (``backend="process"`` selects process-group nodes;
+    anything else runs nodes inline).  The two knobs are exclusive —
+    pass ``workers`` *or* ``nodes``, not both.
+
     Returns a :class:`SweepReport`; per-window runner stats are folded
     into :attr:`SweepReport.perf_caches` with
     :func:`repro.core.perfstats.merge_counters` (the ``dataset_build``
@@ -191,11 +207,25 @@ def run_scaled_table2(
         raise ValueError("samples must be >= 1")
     if not models:
         raise ValueError("no models")
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
     harness = harness or EvaluationHarness()
     if runner is None:
-        runner = ParallelRunner(harness=harness, workers=workers,
-                                run_dir=run_dir, resume=resume,
-                                backend=backend, spill_dir=spill_dir)
+        if nodes > 1:
+            if workers > 1:
+                raise ValueError(
+                    "pass workers (one runner) or nodes (a coordinated "
+                    "fleet), not both")
+            from repro.core.coordinator import SweepCoordinator
+            runner = SweepCoordinator(
+                nodes=nodes, harness=harness,
+                node_backend=("process" if backend == "process"
+                              else "inline"),
+                run_dir=run_dir, resume=resume, spill_dir=spill_dir)
+        else:
+            runner = ParallelRunner(harness=harness, workers=workers,
+                                    run_dir=run_dir, resume=resume,
+                                    backend=backend, spill_dir=spill_dir)
     settings = [WITH_CHOICE]
     if include_challenge:
         settings.append(NO_CHOICE)

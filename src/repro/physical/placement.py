@@ -33,11 +33,17 @@ def legalize(cells: Sequence[Cell], row_ys: Sequence[float],
 
     Cells are processed in increasing target-x order; each is placed in the
     row (and at the first free x at or right of its target) minimising
-    Manhattan displacement.  Raises if a cell cannot fit in any row.
+    Manhattan displacement.  When no row has frontier space — clustered
+    targets can exhaust every frontier while space *left* of the cluster
+    is still free — a gap scan over each row's free intervals places the
+    cell at the minimal-displacement position instead.  Raises only when
+    no row holds any gap wide enough.
     """
     if not row_ys:
         raise ValueError("no rows")
     frontier: Dict[float, float] = {y: 0.0 for y in row_ys}
+    # per-row occupied intervals, kept sorted by start, for the gap scan
+    occupied: Dict[float, List[Tuple[float, float]]] = {y: [] for y in row_ys}
     placed: List[PlacedCell] = []
     for cell in sorted(cells, key=lambda c: (c.target.x, c.name)):
         if cell.width > row_width:
@@ -53,9 +59,25 @@ def legalize(cells: Sequence[Cell], row_ys: Sequence[float],
             if best is None or (disp, y, x) < best:
                 best = (disp, y, x)
         if best is None:
+            # every frontier is exhausted; scan the holes the greedy
+            # packing left behind (free intervals below each frontier)
+            for y in row_ys:
+                gap_start = 0.0
+                for start, end in occupied[y] + [(row_width, row_width)]:
+                    if start - gap_start >= cell.width:
+                        x = min(max(cell.target.x, gap_start),
+                                start - cell.width)
+                        disp = (abs(x - cell.target.x)
+                                + abs(y - cell.target.y))
+                        if best is None or (disp, y, x) < best:
+                            best = (disp, y, x)
+                    gap_start = max(gap_start, end)
+        if best is None:
             raise ValueError(f"cell {cell.name} does not fit in any row")
         disp, y, x = best
-        frontier[y] = x + cell.width
+        frontier[y] = max(frontier[y], x + cell.width)
+        occupied[y].append((x, x + cell.width))
+        occupied[y].sort()
         placed.append(PlacedCell(cell.name,
                                  Rect(x, y, cell.width, row_height), disp))
     return placed

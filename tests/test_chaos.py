@@ -1,27 +1,40 @@
-"""Chaos harness tests: crash/torn-write/judge-fault injection, and the
+"""Chaos harness tests: crash/torn-write/judge-fault injection, the
 acceptance criterion that a run under the full fault stack converges to
-artifacts byte-identical to a fault-free run."""
+artifacts byte-identical to a fault-free run — and the coordinator
+chaos suite (node kill, heartbeat blackout, commit-log tear, shared-
+store bit-flip), whose full-zoo scenarios carry the ``chaos`` marker
+and must converge to the golden Table II digest."""
 
 import pytest
 
 from repro.core import results_io
+from repro.core.coordinator import SweepCoordinator, audit_commit_log
 from repro.core.executor import ProcessBackend
 from repro.core.faults import (
     ChaosCheckpointWriter,
     CompositeBoundary,
     FlakyBoundary,
+    GateBoundary,
+    NodeCrashBoundary,
     PermanentError,
     PoisonedQuestions,
     SimulatedCrash,
     TransientModelError,
     WorkerKillBoundary,
 )
-from repro.core.harness import EvaluationHarness
+from repro.core.harness import EvaluationHarness, run_table2
 from repro.core.question import Category
 from repro.core.resilience import QUARANTINED_METHOD, QuarantinePolicy
 from repro.core.runner import ParallelRunner, RetryPolicy, WorkUnit
 from repro.judge import FaultInjectingJudge, HybridJudge
-from repro.models import WITH_CHOICE, RemoteStubProvider, build_model
+from repro.models import (
+    NO_CHOICE,
+    WITH_CHOICE,
+    RemoteStubProvider,
+    build_model,
+    build_zoo,
+)
+from tests.test_executor import GOLDEN_TABLE2_DIGEST, run_dir_digest
 
 
 def _units(chipvqa, model_names=("gpt-4o", "llava-7b", "kosmos-2")):
@@ -403,3 +416,199 @@ class TestAsyncChaosConvergence:
         assert statuses[victim.name] == "corrupt"
         victim.write_bytes(original)
         assert results_io.verify_run(chaos_dir).ok
+
+
+class TestProcessNodeSigkill:
+    """A real SIGKILL of a process-mode node's worker group: the broken
+    pool surfaces as a node death, the unit is stolen by the surviving
+    node, and the artifacts stay byte-identical to a serial run."""
+
+    def test_sigkilled_node_is_replaced_by_stealing(self, chipvqa,
+                                                    tmp_path):
+        units = _units(chipvqa, ("gpt-4o", "llava-7b"))
+        subset = chipvqa.by_category(Category.DIGITAL)
+        boundary = WorkerKillBoundary(
+            flag_path=tmp_path / "killed.flag",
+            kill_on=f"{units[0].unit_id}::{subset[1].qid}")
+        fleet_dir = tmp_path / "fleet"
+        coordinator = SweepCoordinator(
+            nodes=2, node_backend="process", run_dir=fleet_dir,
+            fault_boundary=boundary, lease_s=60.0)
+        outcome = coordinator.run(units)
+        assert (tmp_path / "killed.flag").exists()
+        assert not outcome.failures
+        counters = coordinator.last_stats.coordinator
+        assert counters["nodes_lost"] == 1
+        assert counters["units_stolen"] >= 1
+
+        clean_dir = tmp_path / "clean"
+        assert not ParallelRunner(workers=1,
+                                  run_dir=clean_dir).run(units).failures
+        for unit in units:
+            name = f"{unit.unit_id}.jsonl"
+            assert ((fleet_dir / name).read_bytes()
+                    == (clean_dir / name).read_bytes())
+
+
+@pytest.mark.chaos
+class TestCoordinatorChaosConvergence:
+    """The acceptance pin: each coordinator chaos scenario runs the
+    full-zoo Table II sweep and must converge to the golden digest —
+    artifacts byte-identical to every fault-free backend — with the
+    fleet counters telling the story of what was survived."""
+
+    def test_node_kill_mid_unit(self, chipvqa, tmp_path):
+        # llava-7b with_choice is the first unit dispatched; killing
+        # its node three questions in forces an early steal while the
+        # rest of the queue is still deep.
+        victim = WorkUnit(model="llava-7b", dataset=chipvqa,
+                          setting=WITH_CHOICE)
+        qid = chipvqa.by_category(Category.DIGITAL)[2].qid
+        run_dir = tmp_path / "run"
+        boundary = NodeCrashBoundary(
+            flag_path=tmp_path / "crash.flag",
+            crash_on=f"{victim.unit_id}::{qid}")
+        coordinator = SweepCoordinator(nodes=3, run_dir=run_dir,
+                                       fault_boundary=boundary)
+        results = run_table2(build_zoo(), runner=coordinator)
+        assert len(results) == 12
+        counters = coordinator.last_stats.coordinator
+        assert counters["nodes_lost"] == 1
+        assert counters["units_stolen"] >= 1
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+        assert results_io.verify_run(run_dir).ok
+
+    def test_heartbeat_blackout_mid_unit(self, chipvqa_challenge,
+                                         tmp_path):
+        # Gate the *last-dispatched* unit (gpt-4o no_choice): requeued
+        # units go to the back of the queue, so wedging a unit the
+        # healthy node can reach quickly keeps the steal well inside
+        # the gate window.
+        victim = WorkUnit(model="gpt-4o", dataset=chipvqa_challenge,
+                          setting=NO_CHOICE)
+        qid = chipvqa_challenge.by_category(Category.DIGITAL)[1].qid
+        run_dir = tmp_path / "run"
+        gate = GateBoundary(flag_path=tmp_path / "gate.flag",
+                            block_on=f"{victim.unit_id}::{qid}",
+                            max_block_s=2.0)
+        coordinator = SweepCoordinator(
+            nodes=2, run_dir=run_dir, fault_boundary=gate,
+            lease_s=0.15, heartbeat_timeout_s=120.0, poll_interval=0.02)
+        run_table2(build_zoo(), runner=coordinator)
+        counters = coordinator.last_stats.coordinator
+        assert counters["nodes_lost"] == 0
+        assert counters["lease_expirations"] >= 1
+        assert counters["units_stolen"] >= 1
+        assert counters["duplicate_commits"] == 1
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+        # exactly-once despite the double execution
+        assert audit_commit_log(run_dir / "commits.jsonl")[:2] == (24, 24)
+
+    def test_commit_log_tear_between_launches(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = SweepCoordinator(nodes=2, run_dir=run_dir)
+        run_table2(build_zoo(), runner=first)
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+        log_path = run_dir / "commits.jsonl"
+        whole = log_path.read_text(encoding="utf-8")
+        log_path.write_text(whole[:-40], encoding="utf-8")
+
+        second = SweepCoordinator(nodes=2, run_dir=run_dir)
+        run_table2(build_zoo(), runner=second)
+        stats = second.last_stats
+        assert stats.resumed == 24
+        assert stats.coordinator["commit_repairs"] == 1
+        assert audit_commit_log(log_path)[:2] == (24, 24)
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+        assert results_io.verify_run(run_dir).ok
+
+    def test_store_bit_flip_between_launches(self, chipvqa, tmp_path):
+        from repro.core.coordinator import ResultStore
+
+        run_dir, store_dir = tmp_path / "run", tmp_path / "store"
+        first = SweepCoordinator(nodes=2, run_dir=run_dir,
+                                 store_dir=store_dir)
+        run_table2(build_zoo(), runner=first)
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+
+        # flip one byte inside a shared-store entry, then lose the
+        # matching checkpoint so resume is forced through the store
+        victim = WorkUnit(model="gpt-4o", dataset=chipvqa,
+                          setting=WITH_CHOICE)
+        entry = ResultStore(store_dir).path_for(victim)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob.replace(b"correct", b"cXrrect", 1))
+        (run_dir / f"{victim.unit_id}.jsonl").unlink()
+
+        second = SweepCoordinator(nodes=2, run_dir=run_dir,
+                                  store_dir=store_dir)
+        run_table2(build_zoo(), runner=second)
+        stats = second.last_stats
+        assert stats.coordinator["store_quarantined"] == 1
+        assert stats.resumed == 23        # everything else untouched
+        assert stats.completed == 1       # the victim was re-executed
+        assert run_dir_digest(run_dir) == GOLDEN_TABLE2_DIGEST
+        assert results_io.verify_run(run_dir).ok
+
+
+class TestScaledSweepResume:
+    """Satellite: kill a scaled multi-sample sweep mid-shard, relaunch
+    over the same run directory, and the final ``sweep_summary.json``
+    is byte-identical to an uninterrupted run's."""
+
+    @pytest.fixture(autouse=True)
+    def _pristine_provider_registry(self):
+        """Undo the sample-salted provider registrations: other test
+        modules assert the default registry's exact contents."""
+        from repro.models.providers import default_registry
+
+        before = dict(default_registry._factories)
+        yield
+        default_registry._factories.clear()
+        default_registry._factories.update(before)
+
+    def test_killed_scaled_sweep_resumes_to_identical_summary(
+            self, tmp_path):
+        from repro.core.sweep import run_scaled_table2
+
+        def summarise(report, path):
+            return results_io.write_summary(
+                path, report.passk_summary(ks=(1, 2)))
+
+        # uninterrupted reference sweep
+        clean_dir = tmp_path / "clean"
+        clean = run_scaled_table2(["gpt-4o"], total=60, seed=3,
+                                  samples=2, shard_size=60,
+                                  run_dir=clean_dir)
+        clean_summary = summarise(clean, clean_dir / "sweep_summary.json")
+        stems = sorted(p.stem for p in clean_dir.glob("*__*.jsonl"))
+        assert len(stems) == 4  # 1 model x 2 settings x 2 samples
+
+        # chaos sweep: the checkpoint writer kills the "process" while
+        # a mid-shard unit's artifact is mid-write
+        chaos_dir = tmp_path / "chaos"
+        writer = ChaosCheckpointWriter(crash_on={stems[2]})
+        report = None
+        launches = 0
+        for _ in range(4):  # relaunch loop: each pass is a "process"
+            launches += 1
+            runner = SweepCoordinator(nodes=2, run_dir=chaos_dir,
+                                      checkpoint_writer=writer)
+            try:
+                report = run_scaled_table2(["gpt-4o"], total=60, seed=3,
+                                           samples=2, shard_size=60,
+                                           runner=runner)
+            except SimulatedCrash:
+                continue  # the sweep died mid-shard; relaunch resumes
+            break
+        else:
+            pytest.fail("scaled sweep did not converge after kills")
+        assert launches == 2
+        assert writer.crashes == [stems[2]]
+
+        chaos_summary = summarise(report,
+                                  chaos_dir / "sweep_summary.json")
+        assert (chaos_summary.read_bytes()
+                == clean_summary.read_bytes())
+        # and the run directory's checkpoints converged byte-for-byte
+        assert run_dir_digest(chaos_dir) == run_dir_digest(clean_dir)

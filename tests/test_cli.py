@@ -225,6 +225,62 @@ class TestResilienceFlags:
         assert "warning: 1 corrupt checkpoint(s)" in out
 
 
+class TestFleetFlags:
+    def test_table2_nodes_matches_single_runner(self, tmp_path, capsys):
+        """A coordinated fleet changes execution only, not the table —
+        and leaves commit-log + coordinator-manifest artifacts."""
+        assert main(["table2", "--models", "kosmos-2", "paligemma"]) == 0
+        solo_out = capsys.readouterr().out
+        run_dir = tmp_path / "run"
+        assert main(["table2", "--models", "kosmos-2", "paligemma",
+                     "--nodes", "2", "--run-dir", str(run_dir),
+                     "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert [line for line in out.splitlines() if "kosmos-2" in line] \
+            == [line for line in solo_out.splitlines()
+                if "kosmos-2" in line]
+        assert "fleet counter" in out
+        assert "nodes_lost" in out
+        assert (run_dir / "commits.jsonl").exists()
+        import json
+
+        manifest = json.loads(
+            (run_dir / "manifest.json").read_text(encoding="utf-8"))
+        assert manifest["coordinator"]["nodes"] == 2
+        assert manifest["coordinator"]["nodes_lost"] == 0
+        # verify-run audits the commit log alongside the checkpoints
+        assert main(["verify-run", str(run_dir)]) == 0
+        assert "commits.jsonl" in capsys.readouterr().out
+
+    def test_nodes_and_workers_are_exclusive(self):
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["table2", "--models", "kosmos-2",
+                  "--nodes", "2", "--workers", "2"])
+
+    def test_nodes_rejects_thread_backend(self):
+        with pytest.raises(SystemExit, match="inline nodes"):
+            main(["table2", "--models", "kosmos-2",
+                  "--nodes", "2", "--backend", "thread"])
+
+    def test_nodes_below_one_clamps_with_warning(self, capsys):
+        assert main(["table2", "--models", "kosmos-2",
+                     "--nodes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "warning: --nodes 0 is below 1; using 1" in out
+        assert "kosmos-2" in out
+
+    def test_breaker_cooldown_requires_breaker(self):
+        with pytest.raises(SystemExit,
+                           match="--breaker-cooldown requires --breaker"):
+            main(["table2", "--models", "kosmos-2",
+                  "--breaker-cooldown", "5"])
+
+    def test_breaker_cooldown_with_breaker_accepted(self, capsys):
+        assert main(["table2", "--models", "kosmos-2",
+                     "--breaker", "3", "--breaker-cooldown", "5"]) == 0
+        assert "kosmos-2" in capsys.readouterr().out
+
+
 class TestVerifyRun:
     def _make_run(self, tmp_path):
         run_dir = tmp_path / "run"

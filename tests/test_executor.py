@@ -44,9 +44,16 @@ GOLDEN_TABLE2_DIGEST = (
 
 
 def run_dir_digest(run_dir: Path) -> str:
-    """Order-independent-input, byte-exact digest of a run's artifacts."""
+    """Order-independent-input, byte-exact digest of a run's artifacts.
+
+    The coordinator's commit log is excluded: it records *who* committed
+    each unit (node names, sequence), which legitimately differs across
+    fleet topologies while the checkpoints stay byte-identical.
+    """
     digest = hashlib.sha256()
     for path in sorted(Path(run_dir).glob("*.jsonl")):
+        if path.name == "commits.jsonl":
+            continue
         digest.update(path.name.encode("utf-8"))
         digest.update(b"\0")
         digest.update(path.read_bytes())

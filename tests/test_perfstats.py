@@ -189,6 +189,22 @@ class TestSpillStore:
             store.path_for(("a", 1)).read_text(encoding="utf-8"))
         assert payload == {"x": 1.5}
 
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
+        stats = CacheStats("probe")
+        store = SpillStore(tmp_path, "probe", *JSON_VALUE_CODEC,
+                           stats=stats)
+        store.put("k", 5)
+        store.path_for("k").write_text("{torn", encoding="utf-8")
+        assert store.get("k", "fallback") == "fallback"
+        assert stats.spill_corrupt == 1
+        # the bad file was evicted, so the next put rebuilds it...
+        assert not store.path_for("k").exists()
+        store.put("k", 5)
+        assert store.get("k") == 5
+        # ...and a missing entry is a plain miss, not a quarantine
+        assert store.get("other") is None
+        assert stats.spill_corrupt == 1
+
 
 class TestSpillTier:
     def test_memory_miss_falls_through_and_promotes(self, tmp_path):
@@ -209,6 +225,19 @@ class TestSpillTier:
         assert cache.stats.snapshot() == {
             "hits": 0, "misses": 1, "evictions": 0,
             "spill_hits": 0, "spill_misses": 1}
+
+    def test_corrupt_disk_entry_surfaces_in_snapshot(self, tmp_path):
+        cache = LruCache(capacity=4, spill_codec=JSON_VALUE_CODEC)
+        store = SpillStore(tmp_path, "t", *JSON_VALUE_CODEC,
+                           stats=cache.stats)
+        cache.attach_spill(store)
+        cache.put("a", 1)
+        cache.clear()
+        store.path_for("a").write_text("not json", encoding="utf-8")
+        assert cache.get("a") is None  # quarantined, degrades to miss
+        assert cache.stats.snapshot() == {
+            "hits": 0, "misses": 1, "evictions": 0,
+            "spill_hits": 0, "spill_misses": 1, "spill_corrupt": 1}
 
     def test_snapshot_stays_stable_without_spill_traffic(self):
         """Spill counters must not appear for spill-free configurations

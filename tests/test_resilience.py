@@ -122,6 +122,78 @@ class TestCircuitBreaker:
     def test_validation(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestHalfOpenBreaker:
+    def test_cooldown_admits_exactly_one_trial(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure("m", "down")
+        assert breaker.state("m") == "open"
+        assert not breaker.allow("m")
+        clock.advance(4.9)
+        assert not breaker.allow("m")  # still cooling
+        clock.advance(0.1)
+        assert breaker.state("m") == "half_open"
+        assert breaker.allow("m")       # the single trial probe
+        assert not breaker.allow("m")   # one probe at a time
+        assert breaker.state("m") == "half_open"
+
+    def test_successful_trial_closes_the_circuit(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0,
+                                 clock=clock)
+        breaker.record_failure("m")
+        clock.advance(1.0)
+        assert breaker.allow("m")
+        breaker.record_success("m")
+        assert breaker.state("m") == "closed"
+        assert breaker.allow("m")
+        assert breaker.open_keys() == []
+
+    def test_failed_trial_rearms_the_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure("m", "down")
+        clock.advance(5.0)
+        assert breaker.allow("m")
+        # the trial fails: back to fully open, cooldown restarted
+        assert breaker.record_failure("m", "still down") is False
+        assert breaker.state("m") == "open"
+        assert not breaker.allow("m")
+        clock.advance(4.9)
+        assert not breaker.allow("m")
+        clock.advance(0.1)
+        assert breaker.allow("m")  # next probe after the fresh cooldown
+
+    def test_without_cooldown_the_circuit_never_half_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure("m")
+        clock.advance(10_000.0)
+        assert breaker.state("m") == "open"
+        assert not breaker.allow("m")
+
+    def test_snapshot_keys_appear_only_when_configured(self):
+        plain = CircuitBreaker(failure_threshold=1)
+        plain.record_failure("m")
+        snap = plain.as_dict()
+        assert "cooldown_s" not in snap and "half_open" not in snap
+
+        clock = FakeClock()
+        probing = CircuitBreaker(failure_threshold=1, cooldown_s=2.0,
+                                 clock=clock)
+        probing.record_failure("m", "down")
+        clock.advance(2.0)
+        assert probing.allow("m")
+        snap = probing.as_dict()
+        assert snap["cooldown_s"] == 2.0
+        assert snap["half_open"] == ["m"]
+        assert snap["open"] == ["m"]
 
 
 class TestBreakerInRunner:
