@@ -89,6 +89,27 @@ def _effective_workers(requested: int,
     return max(1, requested)
 
 
+def _effective_nodes(requested: int) -> int:
+    """Validate and clamp ``--nodes``.
+
+    Below 1 there is no fleet to coordinate — that is a configuration
+    error, not a clampable preference, so it fails fast (unlike the
+    floor clamps of ``--workers``/``--limit``, where a sane
+    substitution exists).  Above ``os.cpu_count()`` the extra nodes
+    cannot run anywhere — inline nodes are thread-scheduled and
+    process-group nodes core-bound — so requests are clamped with a
+    warning, mirroring the ``--workers`` posture.
+    """
+    if requested < 1:
+        raise SystemExit(f"--nodes must be >= 1 (got {requested})")
+    cpus = os.cpu_count() or 1
+    if requested > cpus:
+        print(f"warning: --nodes {requested} exceeds this machine's "
+              f"{cpus} CPU(s); using {cpus}")
+        return cpus
+    return requested
+
+
 def _effective_limit(requested: int) -> int:
     """Clamp ``--limit`` to a sane floor, with a warning.
 
@@ -175,11 +196,12 @@ def _build_runner(args: argparse.Namespace, harness):
 
     quarantine = QuarantinePolicy() if args.quarantine else None
     breaker = _breaker_from_args(args)
-    nodes = getattr(args, "nodes", 1)
-    if nodes < 1:
-        print(f"warning: --nodes {nodes} is below 1; using 1")
-        nodes = 1
-    if nodes > 1:
+    requested_nodes = getattr(args, "nodes", 1)
+    nodes = _effective_nodes(requested_nodes)
+    # Flag-compatibility errors key off what was *requested*: asking
+    # for a fleet with incompatible flags is wrong even on a machine
+    # small enough to clamp the fleet down to one node.
+    if requested_nodes > 1:
         if args.workers != 1:
             raise SystemExit(
                 "--nodes and --workers are exclusive: a coordinated "
@@ -191,6 +213,7 @@ def _build_runner(args: argparse.Namespace, harness):
                 "--nodes runs inline nodes by default or process-group "
                 "nodes under --backend process; thread/async backends "
                 "and their scheduling knobs do not apply to a fleet")
+    if nodes > 1:
         from repro.core.coordinator import SweepCoordinator
 
         return SweepCoordinator(
@@ -265,6 +288,93 @@ def _print_resilience_warnings(stats) -> None:
               f"shared-store entrie(s) quarantined and rebuilt")
 
 
+def _write_metrics(args: argparse.Namespace, stats) -> None:
+    """Honour ``--metrics-out``: write the run's counters as Prometheus
+    text exposition (the batch-side twin of the service's ``/metrics``
+    endpoint; see docs/SERVICE.md)."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from repro.service.metrics import render_prometheus
+
+    written = results_io.atomic_write_text(
+        path, render_prometheus(stats))
+    print(f"\nmetrics -> {written}")
+
+
+def _cmd_table2_service(args: argparse.Namespace) -> int:
+    """The served table2 path (``--service URL``).
+
+    Submits the sweep as one job to a running ``eval-serve`` instance,
+    streams the canonical result payloads back, and renders the same
+    Table II — the service executes through the same
+    :class:`~repro.core.engine.EvalEngine` substrate, so the rendered
+    numbers and the server-side checkpoints are byte-identical to a
+    local run's.  Flags that configure *local* execution or the scaled
+    path have no served meaning and fail fast.
+    """
+    for flag, given in (
+            ("--nodes", getattr(args, "nodes", 1) != 1),
+            ("--limit", args.limit is not None),
+            ("--dataset-seed", args.dataset_seed is not None),
+            ("--samples", args.samples != 1),
+            ("--provider batched", args.provider == "batched"),
+            ("--rate-limit", getattr(args, "rate_limit", None) is not None),
+            ("--hedge-after",
+             getattr(args, "hedge_after", None) is not None),
+            ("--breaker-cooldown",
+             getattr(args, "breaker_cooldown", None) is not None),
+            ("--spill-dir", args.spill_dir is not None),
+            ("--run-dir", args.run_dir is not None),
+            ("--no-resume", args.no_resume)):
+        if given:
+            raise SystemExit(
+                f"{flag} configures local execution and does not apply "
+                f"to --service (the server owns its run directories "
+                f"and backends; see docs/SERVICE.md)")
+    from repro.service.client import EvalServiceClient
+    from repro.service.jobs import JobRejected
+
+    names = args.models or [name for name, _ in TABLE2_ROW_ORDER]
+    spec: dict = {"models": names, "workers": args.workers,
+                  "replicas": args.replicas}
+    if args.backend is not None:
+        spec["backend"] = args.backend
+    if args.latency or args.failure_rate:
+        spec["latency_s"] = args.latency
+        spec["failure_rate"] = args.failure_rate
+    if args.quarantine:
+        spec["quarantine"] = True
+    if args.breaker is not None:
+        spec["breaker"] = args.breaker
+    if args.deadline is not None:
+        spec["deadline_s"] = args.deadline
+    client = EvalServiceClient(args.service)
+    try:
+        job_id = client.submit_job(spec)
+    except JobRejected as exc:
+        raise SystemExit(f"service rejected the job: {exc}")
+    print(f"job {job_id} submitted to {args.service}")
+    results: dict = {}
+    streamed = 0
+    for line in client.stream_results(job_id):
+        result = results_io.loads(line)
+        results.setdefault(result.model_name, {})[result.setting] = result
+        streamed += 1
+    snapshot = client.job_status(job_id)
+    if snapshot["status"] != "completed":
+        raise SystemExit(
+            f"job {job_id} {snapshot['status']}: {snapshot['error']}")
+    print(f"{streamed} unit result(s) streamed; server artifacts in "
+          f"{snapshot['run_dir']}\n")
+    print(render_table2(results, dict(TABLE2_ROW_ORDER)))
+    if getattr(args, "metrics_out", None):
+        written = results_io.atomic_write_text(
+            args.metrics_out, client.metrics())
+        print(f"\nmetrics (from service /metrics) -> {written}")
+    return 0
+
+
 def _wrap_provider(provider, args: argparse.Namespace):
     """Apply the ``--provider`` serving stack to one base provider.
 
@@ -337,6 +447,7 @@ def _cmd_table2_scaled(args: argparse.Namespace) -> int:
               f"(checkpoints + manifest.json; audit with "
               f"`repro verify-run {args.run_dir}`)")
     _print_resilience_warnings(runner.last_stats)
+    _write_metrics(args, runner.last_stats)
     if args.cache_stats:
         _print_cache_stats(report.perf_caches)
         _print_coordinator_stats(runner.last_stats)
@@ -344,6 +455,8 @@ def _cmd_table2_scaled(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
+    if getattr(args, "service", None):
+        return _cmd_table2_service(args)
     if (args.limit is not None or args.dataset_seed is not None
             or args.samples != 1):
         return _cmd_table2_scaled(args)
@@ -361,6 +474,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
               f"(checkpoints + manifest.json; audit with "
               f"`repro verify-run {args.run_dir}`)")
     _print_resilience_warnings(runner.last_stats)
+    _write_metrics(args, runner.last_stats)
     if args.cache_stats:
         _print_cache_stats(runner.last_stats)
         _print_coordinator_stats(runner.last_stats)
@@ -637,6 +751,19 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--shard-size", type=int, default=None, metavar="Q",
                     help="questions per build shard on the scaled "
                          "path (default: 142, one canonical cycle)")
+    p2.add_argument("--service", default=None, metavar="URL",
+                    help="submit the sweep to a running eval-serve "
+                         "instance at URL instead of executing "
+                         "locally; results stream back and render the "
+                         "same table (see docs/SERVICE.md)")
+    p2.add_argument("--replicas", type=int, default=1, metavar="N",
+                    help="serve each model through N load-balanced "
+                         "provider replicas with breaker-aware "
+                         "failover (--service only)")
+    p2.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write the run's counters to PATH as "
+                         "Prometheus text exposition (with --service: "
+                         "a snapshot of the server's /metrics)")
     p2.set_defaults(func=_cmd_table2)
 
     sub.add_parser("table3", help="Table III agent comparison") \

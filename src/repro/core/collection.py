@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.dataset import Dataset
-from repro.core.question import Category, Question, QuestionType
+from repro.core.question import Category, Question
 from repro.tokenizer import default_tokenizer
 
 

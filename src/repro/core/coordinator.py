@@ -56,6 +56,7 @@ from typing import (
 
 from repro.core import executor as executor_mod
 from repro.core import perfstats, results_io
+from repro.core.engine import EvalEngine, payload_digest
 from repro.core.faults import (
     CompositeBoundary,
     FaultBoundary,
@@ -63,15 +64,15 @@ from repro.core.faults import (
     NodeKilled,
 )
 from repro.core.metrics import EvalResult
-from repro.core.resilience import CircuitBreaker, QuarantinePolicy
+from repro.core.resilience import (
+    AdmissionPolicy,
+    CircuitBreaker,
+    QuarantinePolicy,
+)
 from repro.core.runner import (
-    FAILURE_STATUSES,
-    MANIFEST_FORMAT_VERSION,
-    MANIFEST_NAME,
     RetryPolicy,
     RunOutcome,
     RunStats,
-    UnitStats,
     WorkUnit,
 )
 
@@ -94,11 +95,6 @@ class CommitConflict(RuntimeError):
     config drift mid-run) and must abort the run rather than silently
     pick a winner.
     """
-
-
-def payload_digest(payload: str) -> str:
-    """SHA-256 of a canonical checkpoint payload — the committed identity."""
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _entry_digest(body: Dict[str, object]) -> str:
@@ -592,13 +588,17 @@ class SweepCoordinator:
         self.harness = harness
         self.nodes = nodes
         self.node_backend = node_backend
-        self.run_dir = Path(run_dir) if run_dir is not None else None
-        self.resume = resume
         self.retry = retry or RetryPolicy()
         self.fault_boundary = fault_boundary
-        self.quarantine = quarantine
-        self.breaker = breaker
-        self.deadline_s = deadline_s
+        #: the artifact/accounting core; per-run commit log and shared
+        #: store are attached to it by :meth:`run`, and the admission
+        #: views below keep it the single source of truth.
+        self.engine = EvalEngine(
+            run_dir=run_dir, resume=resume,
+            checkpoint_writer=checkpoint_writer,
+            admission=AdmissionPolicy(
+                breaker=breaker, quarantine=quarantine,
+                deadline_s=deadline_s))
         self.lease_s = lease_s
         self.heartbeat_timeout_s = (heartbeat_timeout_s
                                     if heartbeat_timeout_s is not None
@@ -609,13 +609,10 @@ class SweepCoordinator:
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._clock = clock
         self._sleep = sleep
-        self._checkpoint_writer = (checkpoint_writer
-                                   or results_io.atomic_write_text)
         self._mp_context = mp_context
         #: RunStats of the most recent :meth:`run` (for CLI summaries).
         self.last_stats: Optional[RunStats] = None
         self._lock = threading.Lock()
-        self._manifest_lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._fatal: Optional[BaseException] = None
         self._queue: Deque[WorkUnit] = deque()
@@ -633,6 +630,61 @@ class SweepCoordinator:
         """Fleet width — what sweep windowing sizes itself against."""
         return self.nodes
 
+    # -- engine views (one source of truth: the EvalEngine) ------------------
+
+    @property
+    def admission(self) -> AdmissionPolicy:
+        return self.engine.admission
+
+    @property
+    def run_dir(self) -> Optional[Path]:
+        return self.engine.run_dir
+
+    @run_dir.setter
+    def run_dir(self, value: "Optional[Path | str]") -> None:
+        self.engine.run_dir = Path(value) if value is not None else None
+
+    @property
+    def resume(self) -> bool:
+        return self.engine.resume
+
+    @resume.setter
+    def resume(self, value: bool) -> None:
+        self.engine.resume = value
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        return self.engine.admission.breaker
+
+    @breaker.setter
+    def breaker(self, value: Optional[CircuitBreaker]) -> None:
+        self.engine.admission.breaker = value
+
+    @property
+    def quarantine(self) -> Optional[QuarantinePolicy]:
+        return self.engine.admission.quarantine
+
+    @quarantine.setter
+    def quarantine(self, value: Optional[QuarantinePolicy]) -> None:
+        self.engine.admission.quarantine = value
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        return self.engine.admission.deadline_s
+
+    @deadline_s.setter
+    def deadline_s(self, value: Optional[float]) -> None:
+        self.engine.admission.deadline_s = value
+
+    @property
+    def _checkpoint_writer(self) -> Callable[[Path, str], None]:
+        return self.engine.checkpoint_writer
+
+    @_checkpoint_writer.setter
+    def _checkpoint_writer(self,
+                           value: Callable[[Path, str], None]) -> None:
+        self.engine.checkpoint_writer = value
+
     # -- public API ----------------------------------------------------------
 
     def run(self, units: Sequence[WorkUnit]) -> RunOutcome:
@@ -645,7 +697,6 @@ class SweepCoordinator:
             raise ValueError(f"duplicate unit ids in {ids}")
         stats = RunStats()
         self.last_stats = stats
-        collected: Dict[str, EvalResult] = {}
         if self.run_dir is not None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
             log = CommitLog.open(self.run_dir / COMMIT_LOG_NAME,
@@ -667,18 +718,11 @@ class SweepCoordinator:
         }
         self._all_units = units
         self._by_id = {unit.unit_id: unit for unit in units}
-        pending: List[WorkUnit] = []
-        specs: Dict[str, executor_mod.UnitSpec] = {}
-        for unit in units:
-            unit_stats = stats.unit(unit.unit_id)
-            resumed = self._try_resume(unit, unit_stats, log, store)
-            if resumed is not None:
-                unit_stats.status = "resumed"
-                resumed.telemetry = {"resumed": 1.0}
-                collected[unit.unit_id] = resumed
-            else:
-                pending.append(unit)
-                specs[unit.unit_id] = executor_mod.spec_for(unit)
+        self.engine.commit_log = log
+        self.engine.store = store
+        collected, pending = self.engine.prepare(units, stats)
+        specs = {unit.unit_id: executor_mod.spec_for(unit)
+                 for unit in pending}
         if self.spill_dir is not None:
             perfstats.enable_spill(self.spill_dir)
         try:
@@ -690,17 +734,10 @@ class SweepCoordinator:
                 perfstats.disable_spill()
         if self._fatal is not None:
             raise self._fatal
-        stats.record_perf_caches(perfstats.snapshot())
         stats.record_coordinator(self._snapshot_counters())
-        self._write_manifest(units, stats)
-        ordered = {unit.unit_id: collected[unit.unit_id]
-                   for unit in units if unit.unit_id in collected}
-        failures = {
-            unit.unit_id: stats.unit(unit.unit_id).error or "failed"
-            for unit in units
-            if stats.unit(unit.unit_id).status in FAILURE_STATUSES
-        }
-        return RunOutcome(results=ordered, stats=stats, failures=failures)
+        return self.engine.finalize(
+            units, stats, collected,
+            extra={"coordinator": self._snapshot_counters()})
 
     # -- fleet machinery -----------------------------------------------------
 
@@ -907,17 +944,11 @@ class SweepCoordinator:
                     if unit_id in self._terminal:
                         continue
                     unit_stats = stats.unit(unit_id)
-                    model_key = unit.provider.name
-                    if (self.breaker is not None
-                            and not self.breaker.allow(model_key)):
-                        unit_stats.status = "fast_failed"
-                        unit_stats.error = (
-                            f"CircuitOpenError: circuit open for model "
-                            f"{model_key!r} after "
-                            f"{self.breaker.failure_threshold} consecutive "
-                            f"failures")
+                    refusal = self.admission.refuse_unit(
+                        unit.provider.name)
+                    if refusal is not None:
+                        self.engine.fast_fail(unit_stats, refusal)
                         unit_stats.node = node.node_id
-                        self.breaker.record_fast_fail(model_key)
                         self._terminal.add(unit_id)
                         fast_failed = True
                     else:
@@ -957,12 +988,8 @@ class SweepCoordinator:
                     with self._lock:
                         self._counters["duplicate_commits"] += 1
                 return
-            if self.run_dir is not None:
-                self._checkpoint_writer(self.run_dir / f"{unit_id}.jsonl",
-                                        outcome.payload)
-            if store is not None:
-                store.put(unit, outcome.payload)
-            if log.commit(unit_id, digest, node.node_id) == "duplicate":
+            if (self.engine.commit_payload(unit, outcome.payload,
+                                           node.node_id) == "duplicate"):
                 # committed before (log survived, checkpoint did not):
                 # the rebuild reproduced the committed bytes
                 with self._lock:
@@ -980,23 +1007,11 @@ class SweepCoordinator:
                 # would double-count
                 stats.absorb_perf_caches(outcome.perf_delta)
             result = results_io.loads(outcome.payload)
-            result.telemetry = {
-                "wall_time_s": unit_stats.wall_time_s,
-                "attempts": float(unit_stats.attempts),
-                "retries": float(unit_stats.retries),
-                "cache_hits": float(unit_stats.cache_hits),
-                "cache_misses": float(unit_stats.cache_misses),
-                "perf_cache_hits": float(
-                    perfstats.total(outcome.perf_delta, "hits")),
-                "perf_cache_misses": float(
-                    perfstats.total(outcome.perf_delta, "misses")),
-            }
-            if unit_stats.quarantined:
-                result.telemetry["quarantined"] = float(
-                    unit_stats.quarantined)
+            EvalEngine.attach_telemetry(
+                result, unit_stats, outcome.perf_delta)
             collected[unit_id] = result
-            if self.breaker is not None:
-                self.breaker.record_success(model_key)
+            self.admission.record_success(model_key)
+            self.engine.unit_completed(unit, result)
             with self._lock:
                 self._terminal.add(unit_id)
         else:
@@ -1012,72 +1027,11 @@ class SweepCoordinator:
             unit_stats.node = node.node_id
             if node.mode == "process":
                 stats.absorb_perf_caches(outcome.perf_delta)
-            if self.breaker is not None:
-                self.breaker.record_failure(
-                    model_key, unit_stats.error or "node failure")
+            self.admission.record_failure(
+                model_key, unit_stats.error or "node failure")
             with self._lock:
                 self._terminal.add(unit_id)
         self._write_manifest(all_units, stats)
-
-    # -- resume --------------------------------------------------------------
-
-    @staticmethod
-    def _matches(result: EvalResult, unit: WorkUnit) -> bool:
-        """Does a recovered result belong to this exact unit?"""
-        return (result.model_name == unit.provider.name
-                and result.dataset_name == unit.dataset.name
-                and result.setting == unit.setting
-                and result.resolution_factor == unit.resolution_factor
-                and len(result.records) == len(unit.dataset))
-
-    def _try_resume(self, unit: WorkUnit, unit_stats: UnitStats,
-                    log: CommitLog,
-                    store: Optional[ResultStore]) -> Optional[EvalResult]:
-        """Recover a unit from checkpoint or shared store, reconciling
-        with the commit log.
-
-        The commit log is the identity authority: an intact checkpoint
-        whose digest disagrees with the committed one counts corrupt; a
-        checkpoint (or store entry) with no commit — a torn log tail —
-        is re-committed on the spot; a commit with no surviving artifact
-        falls through to the store, then to re-execution (which the
-        commit gate dedups).
-        """
-        if not self.resume:
-            return None
-        unit_id = unit.unit_id
-        committed = log.committed(unit_id)
-        if self.run_dir is not None:
-            path = self.run_dir / f"{unit_id}.jsonl"
-            if path.exists():
-                result: Optional[EvalResult] = None
-                try:
-                    result = results_io.load(path)
-                except (ValueError, KeyError):
-                    unit_stats.corrupt_checkpoints += 1
-                if result is not None:
-                    if not self._matches(result, unit):
-                        unit_stats.stale_checkpoints += 1
-                    else:
-                        payload = results_io.dumps(
-                            result, telemetry=False) + "\n"
-                        digest = payload_digest(payload)
-                        if committed is None:
-                            log.commit(unit_id, digest, "resume")
-                            return result
-                        if digest == committed:
-                            return result
-                        unit_stats.corrupt_checkpoints += 1
-        if store is not None:
-            payload = store.get(unit, expected_sha256=committed)
-            if payload is not None:
-                if self.run_dir is not None:
-                    self._checkpoint_writer(
-                        self.run_dir / f"{unit_id}.jsonl", payload)
-                if committed is None:
-                    log.commit(unit_id, payload_digest(payload), "store")
-                return results_io.loads(payload)
-        return None
 
     # -- artifacts -----------------------------------------------------------
 
@@ -1092,24 +1046,6 @@ class SweepCoordinator:
     def _write_manifest(self, units: Sequence[WorkUnit],
                         stats: RunStats) -> None:
         """Runner-compatible manifest plus a ``coordinator`` block."""
-        if self.run_dir is None:
-            return
-        with self._manifest_lock:
-            payload = {
-                "format_version": MANIFEST_FORMAT_VERSION,
-                "units": [
-                    dict(stats.unit(unit.unit_id).as_dict(),
-                         path=f"{unit.unit_id}.jsonl",
-                         provider=unit.provider.name,
-                         provider_fingerprint=(
-                             unit.provider.config_fingerprint()))
-                    for unit in units
-                ],
-                "totals": stats.as_dict(),
-                "coordinator": self._snapshot_counters(),
-            }
-            if self.breaker is not None:
-                payload["breaker"] = self.breaker.as_dict()
-            results_io.atomic_write_text(
-                self.run_dir / MANIFEST_NAME,
-                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        self.engine.write_manifest(
+            units, stats,
+            extra={"coordinator": self._snapshot_counters()})

@@ -8,7 +8,6 @@ operations the benchmark harness and the Table I reproduction rely on.
 from __future__ import annotations
 
 import hashlib
-import json
 import math
 from collections import Counter
 from dataclasses import dataclass

@@ -11,8 +11,7 @@ from paper reproductions).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping
 
 from repro.core.dataset import Dataset
 from repro.core.prompts import SYSTEM_PROMPT, question_user_prompt

@@ -5,9 +5,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.question import Category, Question
+from repro.core.question import Category
 
 
 @dataclass(frozen=True)

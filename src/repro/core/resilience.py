@@ -22,7 +22,13 @@ pieces the :class:`~repro.core.runner.ParallelRunner` wires together:
 * :class:`QuarantinePolicy` / :func:`quarantined_record` — question
   -level quarantine: a permanently-faulting question is recorded as a
   deterministic incorrect ``judge_method="quarantined"`` record and
-  the rest of the unit is salvaged.
+  the rest of the unit is salvaged;
+* :class:`AdmissionPolicy` — the composition seam: breaker, deadline
+  and quarantine folded into one admission/failure policy consumed by
+  the :class:`~repro.core.engine.EvalEngine` per run *and* by the
+  evaluation service (:mod:`repro.service`) per queue — job-backlog
+  rejection, per-tenant deadlines and cooperative cancellation reuse
+  the same primitives batch runs do.
 
 Everything here is thread-safe and clock-injectable; nothing imports
 the runner, so boundaries and tests can compose these pieces freely.
@@ -374,6 +380,117 @@ class QuarantinePolicy:
         if self.max_per_unit is None:
             return True
         return already_quarantined < self.max_per_unit
+
+
+class AdmissionPolicy:
+    """Composable admission/failure policy shared by runs and services.
+
+    The three resilience primitives — :class:`CircuitBreaker`,
+    :class:`Deadline` and :class:`QuarantinePolicy` — historically
+    arrived at the runner as three separate constructor arguments and
+    were consulted ad hoc at three different call sites.  An
+    ``AdmissionPolicy`` composes them behind one seam with two faces:
+
+    * **per-run** — :meth:`refuse_unit` is the unit-admission gate the
+      :class:`~repro.core.engine.EvalEngine` drivers consult before
+      evaluating a unit (breaker fast-fail, cooperative cancellation),
+      :meth:`deadline` mints the per-unit time budget, and
+      :meth:`may_quarantine` arbitrates question-level salvage;
+    * **per-service** — :meth:`refuse_request` is the queue-admission
+      gate of the evaluation service (``max_pending`` bounds the job
+      backlog; a refusal becomes an HTTP 503, never a hang), and
+      ``cancelled`` lets a job's cancel event fast-fail its remaining
+      units mid-run.
+
+    ``deadline_s`` doubles as the per-tenant deadline when the service
+    builds one policy per submitted job.  All members are optional; an
+    empty policy admits everything.
+    """
+
+    def __init__(self, breaker: Optional[CircuitBreaker] = None,
+                 quarantine: Optional[QuarantinePolicy] = None,
+                 deadline_s: Optional[float] = None,
+                 max_pending: Optional[int] = None,
+                 cancelled: Optional[Callable[[], bool]] = None):
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 or None")
+        self.breaker = breaker
+        self.quarantine = quarantine
+        self.deadline_s = deadline_s
+        self.max_pending = max_pending
+        self.cancelled = cancelled
+
+    # -- per-run face --------------------------------------------------------
+
+    def refuse_unit(self, model_key: str) -> Optional[str]:
+        """The unit-admission gate: ``None`` admits the unit; a string
+        refuses it, and is recorded verbatim as the unit's
+        ``fast_failed`` error.
+
+        Cancellation outranks the breaker — a cancelled run must not
+        spend breaker bookkeeping on units it will never evaluate.  A
+        breaker refusal counts a fast-fail against the model's key.
+        """
+        if self.cancelled is not None and self.cancelled():
+            return ("JobCancelled: run cancelled before this unit "
+                    "started")
+        if self.breaker is not None and not self.breaker.allow(model_key):
+            self.breaker.record_fast_fail(model_key)
+            return (
+                f"CircuitOpenError: circuit open for model {model_key!r} "
+                f"after {self.breaker.failure_threshold} consecutive "
+                f"failures")
+        return None
+
+    def deadline(self, clock: Callable[[], float] = time.monotonic
+                 ) -> Optional[Deadline]:
+        """A fresh per-unit :class:`Deadline` (None when unbounded)."""
+        if self.deadline_s is None:
+            return None
+        return Deadline(self.deadline_s, clock=clock)
+
+    def may_quarantine(self, already_quarantined: int) -> bool:
+        """May one more question be salvaged as quarantined?  False
+        without a quarantine policy — the permanent fault then fails
+        the unit, exactly the historical semantics."""
+        return (self.quarantine is not None
+                and self.quarantine.admit(already_quarantined))
+
+    def record_success(self, model_key: str) -> None:
+        """Forward a unit success to the breaker (no-op without one)."""
+        if self.breaker is not None:
+            self.breaker.record_success(model_key)
+
+    def record_failure(self, model_key: str, error: str = "") -> None:
+        """Forward a unit failure to the breaker (no-op without one)."""
+        if self.breaker is not None:
+            self.breaker.record_failure(model_key, error)
+
+    # -- per-service face ----------------------------------------------------
+
+    def refuse_request(self, pending: int) -> Optional[str]:
+        """The queue-admission gate: ``None`` admits a submission with
+        ``pending`` jobs already backlogged; a string refuses it (the
+        service surfaces it as a 503 body)."""
+        if self.max_pending is not None and pending >= self.max_pending:
+            return (f"queue full: {pending} job(s) pending >= "
+                    f"max_pending {self.max_pending}")
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Manifest/metrics-ready snapshot of the configured gates."""
+        data: Dict[str, object] = {}
+        if self.breaker is not None:
+            data["breaker"] = self.breaker.as_dict()
+        if self.quarantine is not None:
+            data["quarantine_max_per_unit"] = self.quarantine.max_per_unit
+        if self.deadline_s is not None:
+            data["deadline_s"] = self.deadline_s
+        if self.max_pending is not None:
+            data["max_pending"] = self.max_pending
+        return data
 
 
 def quarantined_record(question: Question) -> EvalRecord:

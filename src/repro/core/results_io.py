@@ -22,7 +22,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.metrics import EvalRecord, EvalResult
 from repro.core.question import Category

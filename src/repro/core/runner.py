@@ -60,6 +60,12 @@ from typing import (
 from repro.core import executor as executor_mod
 from repro.core import perfstats, results_io
 from repro.core.dataset import Dataset
+from repro.core.engine import (
+    FAILURE_STATUSES,
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_NAME,
+    EvalEngine,
+)
 from repro.core.faults import (
     FaultBoundary,
     ModelCallError,
@@ -69,6 +75,7 @@ from repro.core.faults import (
 from repro.core.metrics import EvalRecord, EvalResult
 from repro.core.question import Category, Question
 from repro.core.resilience import (
+    AdmissionPolicy,
     CircuitBreaker,
     Deadline,
     DeadlineExceeded,
@@ -89,8 +96,11 @@ from repro.models.providers import (
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
     from repro.core.harness import EvaluationHarness
 
-MANIFEST_NAME = "manifest.json"
-MANIFEST_FORMAT_VERSION = 1
+__all__ = [
+    "FAILURE_STATUSES", "MANIFEST_FORMAT_VERSION", "MANIFEST_NAME",
+    "ParallelRunner", "RetryPolicy", "RunOutcome", "RunStats",
+    "UnitStats", "WorkUnit", "read_manifest",
+]
 
 
 def _slug(text: str) -> str:
@@ -351,10 +361,6 @@ class RunStats:
         }, **extra)
 
 
-#: Unit statuses that count as failures in ``RunOutcome.failures``.
-FAILURE_STATUSES = ("failed", "fast_failed", "timed_out")
-
-
 @dataclass
 class RunOutcome:
     """What a run produced: results in input-unit order, plus telemetry.
@@ -416,11 +422,12 @@ class ParallelRunner:
         checkpoint_writer: Optional[Callable[[Path, str], None]] = None,
         backend: "Optional[str | executor_mod.ExecutionBackend]" = None,
         spill_dir: "Optional[Path | str]" = None,
+        admission: Optional[AdmissionPolicy] = None,
+        on_unit_complete: Optional[
+            Callable[[WorkUnit, EvalResult], None]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if deadline_s is not None and deadline_s < 0:
-            raise ValueError("deadline_s must be >= 0")
         if harness is None:
             from repro.core.harness import EvaluationHarness
             harness = EvaluationHarness()
@@ -431,22 +438,81 @@ class ParallelRunner:
         self.cache = cache if cache is not None else RunCache()
         self.retry = retry or RetryPolicy()
         self.fault_boundary = fault_boundary
-        self.run_dir = Path(run_dir) if run_dir is not None else None
-        self.resume = resume
         self._sleep = sleep
-        self.breaker = breaker
-        self.quarantine = quarantine
-        self.deadline_s = deadline_s
+        if admission is None:
+            admission = AdmissionPolicy(
+                breaker=breaker, quarantine=quarantine,
+                deadline_s=deadline_s)
+        #: the artifact/accounting core this driver schedules over;
+        #: run_dir/resume/breaker/... below are views into it, so the
+        #: engine stays the single source of truth.
+        self.engine = EvalEngine(
+            run_dir=run_dir, resume=resume,
+            checkpoint_writer=checkpoint_writer,
+            admission=admission,
+            on_unit_complete=on_unit_complete)
         self.watchdog_interval = watchdog_interval
         self._clock = clock
-        self._checkpoint_writer = (checkpoint_writer
-                                   or results_io.atomic_write_text)
         #: RunStats of the most recent :meth:`run` (for CLI summaries).
         self.last_stats: Optional[RunStats] = None
         self._watchdog: Optional[Watchdog] = None
-        self._manifest_lock = threading.Lock()
         self._depth_lock = threading.Lock()
         self._not_started = 0
+
+    # -- engine views (one source of truth: the EvalEngine) ------------------
+
+    @property
+    def admission(self) -> AdmissionPolicy:
+        return self.engine.admission
+
+    @property
+    def run_dir(self) -> Optional[Path]:
+        return self.engine.run_dir
+
+    @run_dir.setter
+    def run_dir(self, value: "Optional[Path | str]") -> None:
+        self.engine.run_dir = Path(value) if value is not None else None
+
+    @property
+    def resume(self) -> bool:
+        return self.engine.resume
+
+    @resume.setter
+    def resume(self, value: bool) -> None:
+        self.engine.resume = value
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        return self.engine.admission.breaker
+
+    @breaker.setter
+    def breaker(self, value: Optional[CircuitBreaker]) -> None:
+        self.engine.admission.breaker = value
+
+    @property
+    def quarantine(self) -> Optional[QuarantinePolicy]:
+        return self.engine.admission.quarantine
+
+    @quarantine.setter
+    def quarantine(self, value: Optional[QuarantinePolicy]) -> None:
+        self.engine.admission.quarantine = value
+
+    @property
+    def deadline_s(self) -> Optional[float]:
+        return self.engine.admission.deadline_s
+
+    @deadline_s.setter
+    def deadline_s(self, value: Optional[float]) -> None:
+        self.engine.admission.deadline_s = value
+
+    @property
+    def _checkpoint_writer(self) -> Callable[[Path, str], None]:
+        return self.engine.checkpoint_writer
+
+    @_checkpoint_writer.setter
+    def _checkpoint_writer(self,
+                           value: Callable[[Path, str], None]) -> None:
+        self.engine.checkpoint_writer = value
 
     # -- public API ----------------------------------------------------------
 
@@ -454,26 +520,9 @@ class ParallelRunner:
         """Execute all units; never raises for model faults (they are
         recorded in ``outcome.failures``)."""
         units = list(units)
-        ids = [u.unit_id for u in units]
-        if len(set(ids)) != len(ids):
-            raise ValueError(f"duplicate unit ids in {ids}")
         stats = RunStats()
         self.last_stats = stats
-        collected: Dict[str, EvalResult] = {}
-        if self.run_dir is not None:
-            self.run_dir.mkdir(parents=True, exist_ok=True)
-
-        pending: List[WorkUnit] = []
-        for unit in units:
-            unit_stats = stats.unit(unit.unit_id)
-            resumed = self._try_resume(unit, unit_stats)
-            if resumed is not None:
-                unit_stats.status = "resumed"
-                resumed.telemetry = {"resumed": 1.0}
-                collected[unit.unit_id] = resumed
-            else:
-                pending.append(unit)
-
+        collected, pending = self.engine.prepare(units, stats)
         self._not_started = len(pending)
         if self.spill_dir is not None:
             perfstats.enable_spill(self.spill_dir)
@@ -520,18 +569,7 @@ class ParallelRunner:
                 # keep consulting (or repopulating) the disk tier
                 perfstats.disable_spill()
 
-        ordered: Dict[str, EvalResult] = {}
-        for unit in units:
-            if unit.unit_id in collected:
-                ordered[unit.unit_id] = collected[unit.unit_id]
-        failures = {
-            u.unit_id: stats.unit(u.unit_id).error or "failed"
-            for u in units
-            if stats.unit(u.unit_id).status in FAILURE_STATUSES
-        }
-        stats.record_perf_caches(perfstats.snapshot())
-        self._write_manifest(units, stats)
-        return RunOutcome(results=ordered, stats=stats, failures=failures)
+        return self.engine.finalize(units, stats, collected)
 
     def evaluate_unit(self, unit: WorkUnit, unit_stats: UnitStats,
                       deadline: Optional[Deadline] = None) -> EvalResult:
@@ -582,14 +620,9 @@ class ParallelRunner:
                 with self._depth_lock:
                     self._not_started -= 1
                     unit_stats.queue_depth = self._not_started
-            model_key = unit.provider.name
-            if self.breaker is not None and not self.breaker.allow(model_key):
-                unit_stats.status = "fast_failed"
-                unit_stats.error = (
-                    f"CircuitOpenError: circuit open for model {model_key!r} "
-                    f"after {self.breaker.failure_threshold} consecutive "
-                    f"failures")
-                self.breaker.record_fast_fail(model_key)
+            refusal = self.admission.refuse_unit(unit.provider.name)
+            if refusal is not None:
+                self.engine.fast_fail(unit_stats, refusal)
                 self._write_manifest(all_units, stats)
                 return False
             return True
@@ -613,29 +646,16 @@ class ParallelRunner:
                 if path is not None:
                     self._checkpoint_writer(path, outcome.payload)
                 result = results_io.loads(outcome.payload)
-                result.telemetry = {
-                    "wall_time_s": unit_stats.wall_time_s,
-                    "attempts": float(unit_stats.attempts),
-                    "retries": float(unit_stats.retries),
-                    "cache_hits": float(unit_stats.cache_hits),
-                    "cache_misses": float(unit_stats.cache_misses),
-                    "perf_cache_hits": float(
-                        perfstats.total(outcome.perf_delta, "hits")),
-                    "perf_cache_misses": float(
-                        perfstats.total(outcome.perf_delta, "misses")),
-                }
-                if unit_stats.quarantined:
-                    result.telemetry["quarantined"] = float(
-                        unit_stats.quarantined)
+                EvalEngine.attach_telemetry(
+                    result, unit_stats, outcome.perf_delta)
                 collected[unit_id] = result
-                if self.breaker is not None:
-                    self.breaker.record_success(model_key)
+                self.admission.record_success(model_key)
+                self.engine.unit_completed(unit, result)
             else:
                 unit_stats.status = outcome.status
                 unit_stats.error = outcome.error
-                if self.breaker is not None:
-                    self.breaker.record_failure(
-                        model_key, unit_stats.error or "worker failure")
+                self.admission.record_failure(
+                    model_key, unit_stats.error or "worker failure")
             self._write_manifest(all_units, stats)
 
         assert isinstance(self.backend, executor_mod.ProcessBackend)
@@ -652,21 +672,15 @@ class ParallelRunner:
             self._not_started -= 1
             unit_stats.queue_depth = self._not_started
         model_key = unit.provider.name
-        if self.breaker is not None and not self.breaker.allow(model_key):
-            # fast-fail: no boundary crossing, no retry budget spent
-            unit_stats.status = "fast_failed"
-            unit_stats.error = (
-                f"CircuitOpenError: circuit open for model {model_key!r} "
-                f"after {self.breaker.failure_threshold} consecutive "
-                f"failures")
-            self.breaker.record_fast_fail(model_key)
+        # fast-fail: no boundary crossing, no retry budget spent
+        refusal = self.admission.refuse_unit(model_key)
+        if refusal is not None:
+            self.engine.fast_fail(unit_stats, refusal)
             self._write_manifest(all_units, stats)
             return None
-        deadline: Optional[Deadline] = None
-        if self.deadline_s is not None:
-            deadline = Deadline(self.deadline_s, clock=self._clock)
-            if self._watchdog is not None:
-                self._watchdog.register(unit.unit_id, deadline, unit_stats)
+        deadline = self.admission.deadline(clock=self._clock)
+        if deadline is not None and self._watchdog is not None:
+            self._watchdog.register(unit.unit_id, deadline, unit_stats)
         return unit_stats, model_key, deadline
 
     def _finish_unit(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
@@ -689,27 +703,13 @@ class ParallelRunner:
         if result is not None:
             unit_stats.status = "completed"
             self._checkpoint(unit, result)
-            result.telemetry = {
-                "wall_time_s": unit_stats.wall_time_s,
-                "attempts": float(unit_stats.attempts),
-                "retries": float(unit_stats.retries),
-                "cache_hits": float(unit_stats.cache_hits),
-                "cache_misses": float(unit_stats.cache_misses),
-                "perf_cache_hits": float(
-                    perfstats.total(perf_moved, "hits")),
-                "perf_cache_misses": float(
-                    perfstats.total(perf_moved, "misses")),
-            }
-            if unit_stats.quarantined:
-                result.telemetry["quarantined"] = float(
-                    unit_stats.quarantined)
-            if self.breaker is not None:
-                self.breaker.record_success(model_key)
+            EvalEngine.attach_telemetry(result, unit_stats, perf_moved)
+            self.admission.record_success(model_key)
+            self.engine.unit_completed(unit, result)
         else:
             unit_stats.status = "timed_out" if timed_out else "failed"
             unit_stats.error = f"{type(error).__name__}: {error}"
-            if self.breaker is not None:
-                self.breaker.record_failure(model_key, unit_stats.error)
+            self.admission.record_failure(model_key, unit_stats.error)
         stats.record_perf_caches(perfstats.snapshot())
         self._write_manifest(all_units, stats)
         return result
@@ -857,8 +857,7 @@ class ParallelRunner:
                 self.fault_boundary(unit.unit_id, question.qid)
             return self.harness.judge_answer(question, answer)
         except PermanentError:
-            if (self.quarantine is None
-                    or not self.quarantine.admit(unit_stats.quarantined)):
+            if not self.admission.may_quarantine(unit_stats.quarantined):
                 raise
             # salvage the unit: mark this question quarantined
             # (deterministically incorrect) and keep going
@@ -975,77 +974,21 @@ class ParallelRunner:
             records.append(record)
         return self._result_from_records(unit, records)
 
-    # -- checkpointing -------------------------------------------------------
+    # -- checkpointing (delegated to the engine) -----------------------------
 
     def checkpoint_path(self, unit: WorkUnit) -> Optional[Path]:
-        if self.run_dir is None:
-            return None
-        return self.run_dir / f"{unit.unit_id}.jsonl"
+        return self.engine.checkpoint_path(unit)
 
     def _checkpoint(self, unit: WorkUnit, result: EvalResult) -> None:
-        path = self.checkpoint_path(unit)
-        if path is None:
-            return
-        # telemetry=False keeps checkpoints canonical (byte-stable across
-        # worker counts and retry histories); the timing side lives in
-        # manifest.json.  The writer is atomic (write-then-rename) by
-        # default and injectable so the chaos harness can simulate kills
-        # and torn writes at exactly this point.
-        self._checkpoint_writer(
-            path, results_io.dumps(result, telemetry=False) + "\n")
+        self.engine.checkpoint(unit, result)
 
     def _try_resume(self, unit: WorkUnit,
                     unit_stats: UnitStats) -> Optional[EvalResult]:
-        """Load the unit's checkpoint if it is intact and matches.
-
-        Rejections are never silent: a file that fails to parse or
-        whose checksum mismatches counts as a ``corrupt_checkpoint``,
-        one whose metadata or record count disagrees with the unit as a
-        ``stale_checkpoint`` — both surfaced per unit in the manifest
-        and warned about by the CLI.
-        """
-        if self.run_dir is None or not self.resume:
-            return None
-        path = self.checkpoint_path(unit)
-        if path is None or not path.exists():
-            return None
-        try:
-            result = results_io.load(path)
-        except (ValueError, KeyError):
-            # truncated, torn or checksum-mismatched: re-evaluate
-            unit_stats.corrupt_checkpoints += 1
-            return None
-        if (result.model_name != unit.provider.name
-                or result.dataset_name != unit.dataset.name
-                or result.setting != unit.setting
-                or result.resolution_factor != unit.resolution_factor
-                or len(result.records) != len(unit.dataset)):
-            unit_stats.stale_checkpoints += 1
-            return None
-        return result
+        return self.engine.resume_unit(unit, unit_stats)
 
     def _write_manifest(self, units: Sequence[WorkUnit],
                         stats: RunStats) -> None:
-        if self.run_dir is None:
-            return
-        with self._manifest_lock:
-            payload = {
-                "format_version": MANIFEST_FORMAT_VERSION,
-                "units": [
-                    dict(stats.unit(unit.unit_id).as_dict(),
-                         path=f"{unit.unit_id}.jsonl",
-                         provider=unit.provider.name,
-                         provider_fingerprint=(
-                             unit.provider.config_fingerprint()))
-                    for unit in units
-                ],
-                "totals": stats.as_dict(),
-            }
-            if self.breaker is not None:
-                payload["breaker"] = self.breaker.as_dict()
-            results_io.atomic_write_text(
-                self.run_dir / MANIFEST_NAME,
-                json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        self.engine.write_manifest(units, stats)
 
 
 def read_manifest(run_dir: "Path | str") -> Dict[str, object]:

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 from repro.core import perfstats
 from repro.core.databuild import (StreamingDataset, disable_build_cache,
                                   enable_build_cache)
+from repro.core.engine import build_driver
 from repro.core.metrics import EvalResult, MultiSampleResult
 from repro.core.runner import ParallelRunner, WorkUnit
 
@@ -211,21 +212,9 @@ def run_scaled_table2(
         raise ValueError("nodes must be >= 1")
     harness = harness or EvaluationHarness()
     if runner is None:
-        if nodes > 1:
-            if workers > 1:
-                raise ValueError(
-                    "pass workers (one runner) or nodes (a coordinated "
-                    "fleet), not both")
-            from repro.core.coordinator import SweepCoordinator
-            runner = SweepCoordinator(
-                nodes=nodes, harness=harness,
-                node_backend=("process" if backend == "process"
-                              else "inline"),
-                run_dir=run_dir, resume=resume, spill_dir=spill_dir)
-        else:
-            runner = ParallelRunner(harness=harness, workers=workers,
-                                    run_dir=run_dir, resume=resume,
-                                    backend=backend, spill_dir=spill_dir)
+        runner = build_driver(
+            harness, workers=workers, nodes=nodes, backend=backend,
+            run_dir=run_dir, resume=resume, spill_dir=spill_dir)
     settings = [WITH_CHOICE]
     if include_challenge:
         settings.append(NO_CHOICE)

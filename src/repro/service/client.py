@@ -1,0 +1,169 @@
+"""Retry-aware client for the evaluation service.
+
+:class:`EvalServiceClient` is the thin urllib-based counterpart of
+:mod:`repro.service.server` — the same stdlib-only posture, used by the
+``table2 --service URL`` CLI path and the load benchmark.  Transport
+faults (connection refused/reset, torn reads) are retried with
+exponential backoff; an HTTP *response* is never retried blindly —
+the server spoke, so its status code is authoritative (a 503 raises
+:class:`~repro.service.jobs.JobRejected` for the caller's own backoff
+policy, other errors raise :class:`ServiceError`).
+
+:meth:`EvalServiceClient.stream_results` is offset-resumable: the
+cursor lives client-side, so a torn connection mid-stream simply
+re-polls from the last acknowledged offset — no duplicated and no
+dropped lines (the lines are canonical checkpoint payloads, so the
+streamed transcript digests identically to the server-side artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from http.client import HTTPException
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.service.jobs import JobRejected
+
+#: Transport-level faults worth retrying (the request may never have
+#: reached the server, or the response was torn mid-read).
+_RETRYABLE = (urllib.error.URLError, ConnectionError, HTTPException,
+              TimeoutError, OSError)
+
+
+class ServiceError(RuntimeError):
+    """The service answered with a non-retryable error status."""
+
+
+class EvalServiceClient:
+    """Client for one evaluation service at ``base_url``.
+
+    ``retries``/``backoff_s`` govern transport-fault retry (backoff
+    doubles per attempt); ``opener`` is injectable for tests — any
+    callable with :func:`urllib.request.urlopen`'s signature.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+        timeout_s: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        opener: Optional[Callable] = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.base_url = base_url.rstrip("/")
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self._sleep = sleep
+        self._opener = opener or urllib.request.urlopen
+        self.transport_retries = 0  # observable in tests/bench
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None) -> Dict:
+        """One JSON round-trip with transport-fault retry."""
+        url = f"{self.base_url}{path}"
+        data = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with self._opener(request,
+                                  timeout=self.timeout_s) as response:
+                    body = response.read().decode("utf-8")
+                    return json.loads(body) if body else {}
+            except urllib.error.HTTPError as exc:
+                # The server answered: its verdict stands, no retry.
+                detail = self._error_detail(exc)
+                if exc.code == 503:
+                    raise JobRejected(detail) from exc
+                raise ServiceError(
+                    f"{method} {path} -> {exc.code}: {detail}") from exc
+            except _RETRYABLE as exc:
+                last_error = exc
+                if attempt == self.retries:
+                    break
+                self.transport_retries += 1
+                self._sleep(self.backoff_s * (2 ** attempt))
+        raise ServiceError(
+            f"{method} {path} failed after {self.retries + 1} "
+            f"attempt(s): {last_error}") from last_error
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            return json.loads(exc.read().decode("utf-8"))["error"]
+        except Exception:
+            return str(exc)
+
+    # -- API -----------------------------------------------------------------
+
+    def submit_job(self, spec: Dict[str, object]) -> str:
+        """Submit a job spec; returns the job id (503 →
+        :class:`~repro.service.jobs.JobRejected`)."""
+        return str(self._request("POST", "/v1/jobs", spec)["job_id"])
+
+    def job_status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``/metrics``."""
+        url = f"{self.base_url}/metrics"
+        with self._opener(urllib.request.Request(url),
+                          timeout=self.timeout_s) as response:
+            return response.read().decode("utf-8")
+
+    def stream_results(self, job_id: str,
+                       poll_s: float = 0.05) -> Iterator[str]:
+        """Yield result lines as the job produces them, until the job
+        is terminal and fully drained.  Offset-resumable: transport
+        faults inside a poll are absorbed by :meth:`_request` retry
+        and the cursor never moves past acknowledged lines.
+        """
+        offset = 0
+        while True:
+            page = self._request(
+                "GET", f"/v1/jobs/{job_id}/results?offset={offset}")
+            for line in page["lines"]:
+                yield line
+            offset = int(page["next_offset"])
+            if page["complete"]:
+                return
+            self._sleep(poll_s)
+
+    def wait(self, job_id: str,
+             timeout_s: float = 300.0,
+             poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll until the job is terminal; returns the final snapshot.
+
+        Raises :class:`ServiceError` on timeout — never hangs forever
+        on a wedged job.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            snapshot = self.job_status(job_id)
+            if snapshot["status"] in ("completed", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {snapshot['status']!r} after "
+                    f"{timeout_s}s")
+            self._sleep(poll_s)
+
+    def collect(self, job_id: str) -> List[str]:
+        """Drain the full result stream into a list (blocks until the
+        job is terminal)."""
+        return list(self.stream_results(job_id))

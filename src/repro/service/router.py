@@ -1,0 +1,173 @@
+"""Replica routing: load-balance question batches across providers.
+
+:class:`ProviderRouter` is itself a
+:class:`~repro.models.providers.ModelProvider`, so it drops into any
+:class:`~repro.core.runner.WorkUnit` transparently — the runner, the
+engine and the artifacts never know a unit was served by a fleet of
+replicas rather than one endpoint.  Three properties make that safe:
+
+* **Identity** — every replica must present the same ``name`` and
+  ``config_fingerprint`` (enforced at construction).  Answers are a
+  pure function of provider identity, so any replica produces the
+  byte-identical batch and routing cannot perturb the golden digest.
+* **Whole batches** — a unit's question list is dispatched to exactly
+  one replica per attempt, never split: quota-IRT outcome planning is
+  cohort-dependent (see docs/PROVIDERS.md), so splitting would change
+  answers.  Routing granularity is the unit, parallelism comes from
+  concurrent units.
+* **Breaker-aware ejection + failover** — each replica gets its own
+  :class:`~repro.core.resilience.CircuitBreaker` key; a replica whose
+  circuit opens is ejected from candidate selection until it cools
+  down, and a mid-call failure fails over to the next healthy replica
+  within the same ``answer_batch`` call.  Only when every replica has
+  failed or been ejected does the call raise — and then with the last
+  underlying error, so the runner's retry/backoff machinery sees the
+  real fault class.
+
+Selection is least-loaded: fewest in-flight calls, then fewest
+cumulative dispatches, then lowest index — deterministic under equal
+load, balanced under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.core.faults import ModelCallError, TransientModelError
+from repro.core.question import Question
+from repro.core.resilience import CircuitBreaker
+from repro.models.providers import ModelAnswer, ModelProvider, as_provider
+
+
+class ProviderRouter:
+    """Route whole ``answer_batch`` calls across identical replicas.
+
+    ``replicas`` accepts providers, raw models, or registry names
+    (anything :func:`~repro.models.providers.as_provider` takes).
+    ``breaker`` defaults to a per-replica circuit breaker opening after
+    ``failure_threshold`` consecutive failures; pass an explicit
+    :class:`CircuitBreaker` to share or tune it (keys are
+    ``replica-<index>``).  ``clock`` is injectable for cooldown tests.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[object],
+        breaker: Optional[CircuitBreaker] = None,
+        failure_threshold: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        resolved: List[ModelProvider] = [as_provider(r) for r in replicas]
+        if not resolved:
+            raise ValueError("ProviderRouter needs at least one replica")
+        names = {provider.name for provider in resolved}
+        if len(names) != 1:
+            raise ValueError(
+                f"replicas must share one provider name, got {sorted(names)}")
+        prints = {provider.config_fingerprint() for provider in resolved}
+        if len(prints) != 1:
+            raise ValueError(
+                "replicas must share one config fingerprint — differing "
+                "configs would answer differently and break determinism")
+        self.replicas = resolved
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold, clock=clock)
+        self._lock = threading.Lock()
+        self._in_flight = [0] * len(resolved)
+        self._dispatches = [0] * len(resolved)
+        self._failovers = 0
+        self._ejections = 0
+
+    # -- provider protocol ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.replicas[0].name
+
+    def config_fingerprint(self) -> str:
+        return self.replicas[0].config_fingerprint()
+
+    def _replica_key(self, index: int) -> str:
+        return f"replica-{index}"
+
+    def _pick(self, tried: Set[int]) -> Optional[int]:
+        """Least-loaded healthy replica not yet tried this call."""
+        with self._lock:
+            candidates = []
+            for index in range(len(self.replicas)):
+                if index in tried:
+                    continue
+                if not self.breaker.allow(self._replica_key(index)):
+                    self._ejections += 1
+                    continue
+                candidates.append(
+                    (self._in_flight[index], self._dispatches[index], index))
+            if not candidates:
+                return None
+            _, _, index = min(candidates)
+            self._in_flight[index] += 1
+            self._dispatches[index] += 1
+            return index
+
+    def answer_batch(self, questions: Sequence[Question], setting: str,
+                     resolution_factor: int = 1,
+                     use_raster: bool = True) -> List[ModelAnswer]:
+        """Serve one whole batch, failing over across replicas.
+
+        Raises the *last* replica error once every replica has failed
+        or been ejected, so upstream retry/breaker policy classifies
+        the true fault; an all-ejected fleet raises a
+        :class:`~repro.core.faults.TransientModelError` (the condition
+        is recoverable once a breaker cools down).
+        """
+        tried: Set[int] = set()
+        last_error: Optional[ModelCallError] = None
+        while True:
+            index = self._pick(tried)
+            if index is None:
+                if last_error is not None:
+                    raise last_error
+                raise TransientModelError(
+                    f"all {len(self.replicas)} replica(s) of "
+                    f"{self.name!r} ejected by open circuit breakers")
+            tried.add(index)
+            key = self._replica_key(index)
+            try:
+                answers = self.replicas[index].answer_batch(
+                    questions, setting, resolution_factor,
+                    use_raster=use_raster)
+            except ModelCallError as exc:
+                self.breaker.record_failure(key, str(exc))
+                last_error = exc
+                with self._lock:
+                    self._in_flight[index] -= 1
+                    self._failovers += 1
+                continue
+            except BaseException:
+                with self._lock:
+                    self._in_flight[index] -= 1
+                raise
+            self.breaker.record_success(key)
+            with self._lock:
+                self._in_flight[index] -= 1
+            return answers
+
+    # -- telemetry -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Dispatch/failover counters plus per-replica breaker state."""
+        with self._lock:
+            return {
+                "replicas": len(self.replicas),
+                "dispatches": list(self._dispatches),
+                "in_flight": list(self._in_flight),
+                "failovers": self._failovers,
+                "ejections": self._ejections,
+                "breaker": self.breaker.as_dict(),
+            }
+
+    def __repr__(self) -> str:
+        return (f"ProviderRouter(name={self.name!r}, "
+                f"replicas={len(self.replicas)})")

@@ -226,9 +226,13 @@ class TestResilienceFlags:
 
 
 class TestFleetFlags:
-    def test_table2_nodes_matches_single_runner(self, tmp_path, capsys):
+    def test_table2_nodes_matches_single_runner(self, tmp_path, capsys,
+                                                monkeypatch):
         """A coordinated fleet changes execution only, not the table —
         and leaves commit-log + coordinator-manifest artifacts."""
+        # Inline nodes are threads; let the fleet keep 2 nodes even on
+        # a 1-CPU machine rather than being clamped down.
+        monkeypatch.setattr(repro.cli.os, "cpu_count", lambda: 2)
         assert main(["table2", "--models", "kosmos-2", "paligemma"]) == 0
         solo_out = capsys.readouterr().out
         run_dir = tmp_path / "run"
@@ -262,12 +266,33 @@ class TestFleetFlags:
             main(["table2", "--models", "kosmos-2",
                   "--nodes", "2", "--backend", "thread"])
 
-    def test_nodes_below_one_clamps_with_warning(self, capsys):
+    def test_nodes_below_one_is_a_hard_error(self):
+        """There is no fleet of zero nodes to substitute — unlike the
+        --workers floor clamp, this is a configuration error."""
+        with pytest.raises(SystemExit,
+                           match=r"--nodes must be >= 1 \(got 0\)"):
+            main(["table2", "--models", "kosmos-2", "--nodes", "0"])
+
+    def test_nodes_negative_is_a_hard_error(self):
+        with pytest.raises(SystemExit,
+                           match=r"--nodes must be >= 1 \(got -3\)"):
+            main(["table2", "--models", "kosmos-2", "--nodes=-3"])
+
+    def test_nodes_clamped_to_cpu_count(self, capsys, monkeypatch):
+        monkeypatch.setattr(repro.cli.os, "cpu_count", lambda: 2)
         assert main(["table2", "--models", "kosmos-2",
-                     "--nodes", "0"]) == 0
+                     "--nodes", "8"]) == 0
         out = capsys.readouterr().out
-        assert "warning: --nodes 0 is below 1; using 1" in out
+        assert ("warning: --nodes 8 exceeds this machine's 2 CPU(s); "
+                "using 2") in out
         assert "kosmos-2" in out
+
+    def test_nodes_within_cpu_count_stay_silent(self, capsys,
+                                                monkeypatch):
+        monkeypatch.setattr(repro.cli.os, "cpu_count", lambda: 8)
+        assert main(["table2", "--models", "kosmos-2",
+                     "--nodes", "2"]) == 0
+        assert "warning:" not in capsys.readouterr().out
 
     def test_breaker_cooldown_requires_breaker(self):
         with pytest.raises(SystemExit,
@@ -279,6 +304,26 @@ class TestFleetFlags:
         assert main(["table2", "--models", "kosmos-2",
                      "--breaker", "3", "--breaker-cooldown", "5"]) == 0
         assert "kosmos-2" in capsys.readouterr().out
+
+
+class TestMetricsOut:
+    def test_table2_writes_prometheus_exposition(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(["table2", "--models", "kosmos-2",
+                     "--metrics-out", str(out_path)]) == 0
+        assert f"metrics -> {out_path}" in capsys.readouterr().out
+        text = out_path.read_text(encoding="utf-8")
+        assert 'repro_run_units{status="completed"} 2' in text
+        assert "# TYPE repro_run_retries_total counter" in text
+        # the perception caches ride along under a cache label
+        assert 'repro_cache_hits{cache="' in text
+
+    def test_scaled_path_writes_metrics_too(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(["table2", "--models", "kosmos-2",
+                     "--limit", "8", "--metrics-out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert "repro_run_units" in out_path.read_text(encoding="utf-8")
 
 
 class TestVerifyRun:

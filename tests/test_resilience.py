@@ -16,6 +16,7 @@ from repro.core.faults import (
 from repro.core.question import Category
 from repro.core.resilience import (
     QUARANTINED_METHOD,
+    AdmissionPolicy,
     CircuitBreaker,
     CircuitOpenError,
     Deadline,
@@ -585,3 +586,71 @@ class TestCompositeBoundary:
 
     def test_empty_composite_is_noop(self):
         CompositeBoundary()("u", "q")
+
+
+class TestAdmissionPolicy:
+    """The composed admission seam both runs and the service gate on."""
+
+    def test_empty_policy_admits_everything(self):
+        policy = AdmissionPolicy()
+        assert policy.refuse_unit("gpt-4o") is None
+        assert policy.refuse_request(10 ** 6) is None
+        assert policy.deadline() is None
+        # no quarantine policy -> permanent faults keep failing units
+        assert not policy.may_quarantine(0)
+        assert policy.as_dict() == {}
+
+    def test_cancellation_refuses_units(self):
+        cancelled = {"flag": False}
+        policy = AdmissionPolicy(cancelled=lambda: cancelled["flag"])
+        assert policy.refuse_unit("gpt-4o") is None
+        cancelled["flag"] = True
+        refusal = policy.refuse_unit("gpt-4o")
+        assert refusal is not None and "JobCancelled" in refusal
+
+    def test_cancellation_outranks_breaker(self):
+        """A cancelled run must not spend breaker bookkeeping on units
+        it will never evaluate."""
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("gpt-4o", "down")
+        policy = AdmissionPolicy(breaker=breaker, cancelled=lambda: True)
+        refusal = policy.refuse_unit("gpt-4o")
+        assert "JobCancelled" in refusal
+        assert breaker.as_dict()["fast_fails"] == {}
+
+    def test_breaker_refusal_counts_fast_fail(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        policy = AdmissionPolicy(breaker=breaker)
+        policy.record_failure("gpt-4o", "down")
+        refusal = policy.refuse_unit("gpt-4o")
+        assert "CircuitOpenError" in refusal
+        assert breaker.as_dict()["fast_fails"] == {"gpt-4o": 1}
+
+    def test_refuse_request_bounds_backlog(self):
+        policy = AdmissionPolicy(max_pending=2)
+        assert policy.refuse_request(1) is None
+        refusal = policy.refuse_request(2)
+        assert "queue full" in refusal and "max_pending 2" in refusal
+
+    def test_deadline_minted_per_unit(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(deadline_s=5.0)
+        deadline = policy.deadline(clock=clock)
+        assert deadline.remaining() == 5.0
+        clock.advance(6.0)
+        assert deadline.expired
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            AdmissionPolicy(deadline_s=-1.0)
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionPolicy(max_pending=0)
+
+    def test_as_dict_round_trip(self):
+        policy = AdmissionPolicy(breaker=CircuitBreaker(3),
+                                 quarantine=QuarantinePolicy(),
+                                 deadline_s=2.0, max_pending=8)
+        data = policy.as_dict()
+        assert data["deadline_s"] == 2.0
+        assert data["max_pending"] == 8
+        assert data["breaker"]["failure_threshold"] == 3
