@@ -1,0 +1,339 @@
+"""E20 — Pipelined sweeps: overlapped shard prefetch and the
+serialize-once byte path (``repro.core.pipeline``, ``docs/PERF.md``).
+
+The workload models the regime the paper's sweeps actually ran in:
+shard *building* is local CPU (procedural generation plus the disk-tier
+spill write that makes restarts warm), while *evaluation* waits on a
+remote endpoint.  The endpoint is a
+:class:`~repro.models.providers.RemoteStubProvider` around a zero-CPU
+gold-echo model, with per-call latency **calibrated at runtime** from
+two probes — per-shard build cost and the consumer's own per-shard CPU
+— so the sweep lands in the balanced ``build ~= eval`` regime where
+pipelining pays, on fast and slow machines alike.
+
+Shapes pinned (slow; the non-slow smoke checks identity + artifact):
+
+* **prefetch >= 2 gives >= 1.8x serial** on a ~10k-question sweep
+  (multi-core hosts; one-core hosts pin 85% of their measured overlap
+  ceiling — see the slow test's docstring): the serial loop's
+  per-shard ``build + eval`` collapses to ``max(build, eval)``, with
+  the builders additionally warming each question's digest memo so the
+  runner's cache-key serialisation rides in the overlapped stage too.
+* **serialize-once >= 30% less serialization time** — the legacy byte
+  path encoded every result twice (checkpoint, then the store/stream
+  copy); the serialize-once path encodes exactly once and carries
+  bytes + digest.  The bench replays the second encode over the run's
+  actual checkpoints and pins the saving.
+
+Every run writes ``BENCH_sweep_pipeline.json`` at the repo root:
+throughput, per-stage times (from :func:`repro.core.perfstats.
+stage_snapshot` deltas), and the speedup — the artifact the CI bench
+step uploads.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import databuild, perfstats, results_io
+from repro.core.sweep import run_scaled_table2
+
+from repro.models.providers import RemoteStubProvider, register_provider
+from repro.models.vlm import ModelAnswer
+
+ARTIFACT = Path(__file__).resolve().parent.parent \
+    / "BENCH_sweep_pipeline.json"
+
+SEED = 23
+#: Smoke-sweep size: five canonical cycles, one cycle per shard.
+SMOKE_N, SMOKE_SHARD = 5 * 142, 142
+#: Pinned-shape size: ~10k questions in thirty-five 2-cycle shards —
+#: enough shards that the un-overlappable first build amortises away.
+SCALE_N, SCALE_SHARD = 70 * 142, 284
+
+
+@pytest.fixture(autouse=True)
+def _pristine_provider_registry():
+    from repro.models.providers import default_registry
+
+    before = dict(default_registry._factories)
+    yield
+    default_registry._factories.clear()
+    default_registry._factories.update(before)
+
+
+class _GoldEcho:
+    """A zero-CPU stand-in for a remote endpoint: echoes the gold
+    answer, so client-side model cost is nil and eval time is the
+    stub's latency plus the harness's own judge/bookkeeping work."""
+
+    name = "bench-pipe"
+
+    def answer_all(self, questions, setting, *args, **kwargs):
+        return [ModelAnswer(qid=q.qid, text=q.answer.text,
+                            planned_correct=True, perception=1.0,
+                            prompt=None)
+                for q in questions]
+
+
+def _calibrate(total: int, shard_size: int, base: Path) -> dict:
+    """Derive the stub latency that balances the pipeline's two sides.
+
+    One four-shard zero-latency pilot sweep measures both sides at
+    once: its ``build_wait`` stage time is the true in-sweep per-shard
+    build cost (generation + spill write), and the wall time beyond
+    that is the consumer's own per-shard CPU (judge, cache keys,
+    serialize-once, commit).  A second probe times the per-shard
+    question-digest warm, which the prefetcher performs on the builder
+    side while the serial loop pays it at eval.
+
+    The calibrated latency is ``build + digest_warm`` — the builder
+    side's whole per-shard budget.  In steady state the builders can
+    hide at most their own work per consumed shard (with one core
+    that bound is exact: the pipelined floor is the sweep's total CPU),
+    so this is the largest eval wait prefetching can fully absorb;
+    past it the builders idle, short of it some build cost stays
+    exposed.
+    """
+    databuild.canonical_cycle()  # warm the canonical build once
+
+    _register_endpoint(0.0)
+    perfstats.reset()
+    databuild._SHARD_CACHE.clear()
+    pilot_shards = 4
+    start = time.perf_counter()
+    run_scaled_table2([_GoldEcho.name],
+                      total=pilot_shards * shard_size, seed=SEED,
+                      samples=1, shard_size=shard_size,
+                      include_challenge=False,
+                      run_dir=base / "pilot",
+                      spill_dir=base / "pilot-cache")
+    pilot_s = (time.perf_counter() - start) / pilot_shards
+    stages = perfstats.stage_snapshot()
+    build_s = stages.get("build_wait_ns", 0) / 1e9 / pilot_shards
+    consumer_s = max(0.0, pilot_s - build_s)
+
+    from repro.core.runcache import question_digest
+
+    databuild._SHARD_CACHE.clear()
+    shard = databuild.shard_dataset(total, SEED, shard_size, 0)
+    start = time.perf_counter()
+    for question in shard:
+        question_digest(question)
+    digest_s = time.perf_counter() - start
+    databuild._SHARD_CACHE.clear()
+
+    latency_s = build_s + digest_s
+    return {"build_s": build_s, "consumer_s": consumer_s,
+            "digest_warm_s": digest_s, "latency_s": latency_s}
+
+
+def _cores() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _register_endpoint(latency_s: float) -> str:
+    register_provider(
+        _GoldEcho.name,
+        lambda: RemoteStubProvider(_GoldEcho(),
+                                   base_latency_s=latency_s),
+        replace=True)
+    return _GoldEcho.name
+
+
+def _timed_sweep(model: str, total: int, shard_size: int, base: Path,
+                 prefetch: int, builder: str, tag: str = "") -> dict:
+    """One cold sweep; returns wall time, stage deltas, and summary.
+
+    ``tag`` keeps repeated attempts on fresh run and spill directories —
+    reusing them would resume from checkpoints / build from a warm disk
+    tier instead of measuring a cold sweep.
+    """
+    perfstats.reset()
+    databuild._SHARD_CACHE.clear()
+    run_dir = base / f"run-p{prefetch}{tag}"
+    start = time.perf_counter()
+    report = run_scaled_table2([model], total=total, seed=SEED,
+                               samples=1, shard_size=shard_size,
+                               include_challenge=False,
+                               run_dir=run_dir,
+                               spill_dir=base / f"cache-p{prefetch}{tag}",
+                               prefetch=prefetch,
+                               prefetch_builder=builder)
+    wall_s = time.perf_counter() - start
+    stages = perfstats.stage_snapshot()
+    summary = results_io.write_summary(
+        run_dir / "sweep_summary.json", report.passk_summary(ks=(1,)))
+    return {
+        "wall_s": wall_s,
+        "throughput_qps": total / wall_s,
+        "stage_seconds": {
+            name: round(stages.get(f"{name}_ns", 0) / 1e9, 4)
+            for name in perfstats.PIPELINE_STAGES
+            if f"{name}_calls" in stages
+        },
+        "run_dir": run_dir,
+        "summary_path": summary,
+    }
+
+
+def _second_encode_seconds(run_dir: Path) -> float:
+    """Replay the legacy byte path's *extra* serialization: re-encode
+    every checkpointed result once more, exactly as the pre-pipeline
+    store/stream copies did."""
+    results = [results_io.loads(path.read_text())
+               for path in sorted(run_dir.glob("*__*.jsonl"))]
+    assert results
+    start = time.perf_counter()
+    for result in results:
+        results_io.dumps(result, telemetry=False)
+    return time.perf_counter() - start
+
+
+def _run_shape(total: int, shard_size: int, tmp_path: Path,
+               prefetch: int, builder: str, repeats: int = 1) -> dict:
+    """Calibrate, then time serial vs prefetched sweeps.
+
+    With ``repeats > 1`` each side runs that many times (alternating,
+    so slow-neighbour noise hits both sides alike) and the best wall
+    time per side is kept — the timeit convention: external load only
+    ever *adds* time, so the minimum is the closest observation of the
+    code's own cost.  Byte-identity is asserted across every run.
+    """
+    probe = _calibrate(total, shard_size, tmp_path)
+    model = _register_endpoint(probe["latency_s"])
+
+    serial = piped = None
+    for attempt in range(max(1, repeats)):
+        serial_try = _timed_sweep(model, total, shard_size, tmp_path,
+                                  prefetch=0, builder="thread",
+                                  tag=f"-t{attempt}")
+        piped_try = _timed_sweep(model, total, shard_size, tmp_path,
+                                 prefetch=prefetch, builder=builder,
+                                 tag=f"-t{attempt}")
+        assert (piped_try["summary_path"].read_bytes()
+                == serial_try["summary_path"].read_bytes())
+        if serial is None or serial_try["wall_s"] < serial["wall_s"]:
+            serial = serial_try
+        if piped is None or piped_try["wall_s"] < piped["wall_s"]:
+            piped = piped_try
+
+    # Serialization accounting comes from the *serial* run: stage
+    # timers record wall time, and in the prefetched run consumer-side
+    # stages are dilated by builder-thread timeslices (work that is
+    # concurrently useful, but charged to whichever stage holds the
+    # timer), which would overstate the serialize cost.
+    once_s = serial["stage_seconds"]["serialize"]
+    extra_s = _second_encode_seconds(piped["run_dir"])
+    serialize_reduction = extra_s / (once_s + extra_s)
+
+    # One-core ceiling: the pipelined floor is the sweep's total CPU
+    # (build + consumer per shard), and the hideable eval wait is the
+    # builder side's own budget — so the best any overlap can do is
+    # 1 + hidden/total.  Multi-core hosts (process builders) are not
+    # bound by this; the artifact records it for the regression trail.
+    single_core_cap = 1.0 + ((probe["build_s"] + probe["digest_warm_s"])
+                             / (probe["build_s"] + probe["consumer_s"]))
+
+    payload = {
+        "total_questions": total,
+        "shard_size": shard_size,
+        "prefetch": prefetch,
+        "prefetch_builder": builder,
+        "cpu_cores": _cores(),
+        "single_core_cap": round(single_core_cap, 3),
+        "calibration": {k: round(v, 4) for k, v in probe.items()},
+        "serial": {
+            "wall_s": round(serial["wall_s"], 4),
+            "throughput_qps": round(serial["throughput_qps"], 1),
+            "stage_seconds": serial["stage_seconds"],
+        },
+        "prefetched": {
+            "wall_s": round(piped["wall_s"], 4),
+            "throughput_qps": round(piped["throughput_qps"], 1),
+            "stage_seconds": piped["stage_seconds"],
+        },
+        "speedup": round(serial["wall_s"] / piped["wall_s"], 3),
+        "serialize_once_s": round(once_s, 4),
+        "legacy_second_encode_s": round(extra_s, 4),
+        "serialize_reduction": round(serialize_reduction, 3),
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"\n{total}-question sweep "
+          f"(build {probe['build_s'] * 1e3:5.1f} ms/shard, "
+          f"consumer {probe['consumer_s'] * 1e3:5.1f} ms/shard, "
+          f"stub latency {probe['latency_s'] * 1e3:5.1f} ms): "
+          f"serial {serial['wall_s']:6.2f} s "
+          f"({serial['throughput_qps']:6.0f} q/s)   "
+          f"prefetch={prefetch}/{builder} {piped['wall_s']:6.2f} s "
+          f"({piped['throughput_qps']:6.0f} q/s)   "
+          f"speedup {payload['speedup']:.2f}x")
+    print(f"build_wait serial "
+          f"{serial['stage_seconds']['build_wait']:6.2f} s -> "
+          f"prefetch {piped['stage_seconds']['build_wait']:6.2f} s   "
+          f"serialize once {once_s * 1e3:6.1f} ms vs legacy extra "
+          f"{extra_s * 1e3:6.1f} ms (saves "
+          f"{serialize_reduction:.0%})   -> {ARTIFACT.name}")
+    return payload
+
+
+def test_smoke_pipeline_identity_and_artifact(tmp_path):
+    """Smoke (any machine): prefetch=2 and serial produce byte-identical
+    artifacts, the stage ledger shows the overlap, and the bench
+    artifact lands; no wall-clock floor is pinned at this size.  Thread
+    builders keep the smoke free of pool-spawn noise; the slow shape
+    covers the process pool."""
+    payload = _run_shape(SMOKE_N, SMOKE_SHARD, tmp_path,
+                         prefetch=2, builder="thread")
+    assert ARTIFACT.exists()
+    assert payload["speedup"] > 0
+    for side in ("serial", "prefetched"):
+        stages = payload[side]["stage_seconds"]
+        assert set(stages) >= {"build_wait", "eval", "serialize",
+                               "commit"}
+    # the prefetched run waits on builds strictly less than the serial
+    # run charges for building them
+    assert (payload["prefetched"]["stage_seconds"]["build_wait"]
+            < payload["serial"]["stage_seconds"]["build_wait"])
+    assert payload["serialize_reduction"] >= 0.30
+
+
+@pytest.mark.slow
+def test_prefetch_speedup_at_least_1_8x_on_10k_sweep(tmp_path):
+    """Acceptance (E20): prefetch >= 2 gives >= 1.8x serial wall-clock
+    on a ~10k-question sweep with eval latency calibrated against build
+    cost, and the serialize-once path saves >= 30% of serialization
+    time.
+
+    The builder pool is chosen for the host: with >= 2 cores the
+    process pool runs build CPU truly in parallel with the evaluating
+    consumer and the full 1.8x target is pinned.  On a one-core host no
+    overlap design can beat ``1 + hidden/total_cpu`` (the pipelined
+    floor is the sweep's total CPU; the hideable wait is the builder
+    side's own budget — with the measured build:consumer ratio that cap
+    sits around 1.8), so the pin there is 85% of the host's *measured*
+    cap: the pipeline must realize the physics it has, and a regression
+    in overlap or in the serialize-once path still fails the test.
+    (The idle-window phased scheduler measures ~90% of cap on this
+    shape; the 85% pin leaves headroom for run-to-run machine noise
+    while still failing the un-phased scheduler, which peaks ~77%.)
+    """
+    multi_core = _cores() >= 2
+    payload = _run_shape(SCALE_N, SCALE_SHARD, tmp_path,
+                         prefetch=2,
+                         builder="process" if multi_core else "thread",
+                         repeats=2)
+    target = 1.8 if multi_core \
+        else min(1.8, 0.85 * payload["single_core_cap"])
+    assert payload["speedup"] >= target, (
+        f"speedup {payload['speedup']} below target {target:.3f} "
+        f"(cores={payload['cpu_cores']}, "
+        f"single-core cap {payload['single_core_cap']})")
+    assert payload["serialize_reduction"] >= 0.30

@@ -23,6 +23,7 @@ from typing import List, Optional
 from repro.core import perfstats, results_io
 from repro.core.benchmark import build_chipvqa, build_chipvqa_challenge
 from repro.core.harness import EvaluationHarness, run_table2
+from repro.core.pipeline import PREFETCH_BUILDERS
 from repro.core.question import Category
 from repro.core.report import (
     CATEGORY_ORDER,
@@ -55,15 +56,40 @@ def _print_cache_stats(stats=None) -> None:
     else:
         counters = (stats.perf_caches if stats is not None
                     and stats.perf_caches else perfstats.snapshot())
+    counters = dict(counters)
+    stages = counters.pop(perfstats.STAGE_TIMINGS_NAME, None)
     print(f"\n{'cache':<12}{'hits':>8}{'misses':>8}{'evict':>7}"
           f"{'size':>7}{'spill':>7}{'hit rate':>10}")
     for name, entry in sorted(counters.items()):
-        total = entry["hits"] + entry["misses"]
-        rate = entry["hits"] / total if total else 0.0
+        total = entry.get("hits", 0) + entry.get("misses", 0)
+        rate = entry.get("hits", 0) / total if total else 0.0
         spill = entry.get("spill_hits", 0)
-        print(f"{name:<12}{entry['hits']:>8}{entry['misses']:>8}"
-              f"{entry['evictions']:>7}{entry.get('size', 0):>7}"
+        print(f"{name:<12}{entry.get('hits', 0):>8}"
+              f"{entry.get('misses', 0):>8}"
+              f"{entry.get('evictions', 0):>7}{entry.get('size', 0):>7}"
               f"{spill:>7}{rate:>10.3f}")
+    if stages:
+        _print_stage_timings(stages)
+
+
+def _print_stage_timings(stages: dict) -> None:
+    """Dump the pipeline's per-stage hot-path timers (docs/PERF.md).
+
+    ``build_wait`` near zero alongside nonzero ``eval`` is the
+    signature of a well-overlapped ``--prefetch`` sweep; a serial sweep
+    charges the full build time there.
+    """
+    recorded = sorted({key[:-3] for key in stages if key.endswith("_ns")})
+    ordered = [name for name in perfstats.PIPELINE_STAGES
+               if name in recorded]
+    ordered += [name for name in recorded if name not in ordered]
+    print(f"\n{'stage':<12}{'calls':>8}{'seconds':>10}{'ms/call':>10}")
+    for name in ordered:
+        ns = stages.get(f"{name}_ns", 0)
+        calls = stages.get(f"{name}_calls", 0)
+        per_call_ms = (ns / 1e6 / calls) if calls else 0.0
+        print(f"{name:<12}{calls:>8}{ns / 1e9:>10.3f}"
+              f"{per_call_ms:>10.3f}")
 
 
 def _effective_workers(requested: int,
@@ -134,6 +160,31 @@ def _effective_samples(requested: int) -> int:
     if requested < 1:
         print(f"warning: --samples {requested} is below 1; using 1")
         return 1
+    return requested
+
+
+def _effective_prefetch(requested: Optional[int], workers: int) -> int:
+    """Validate and clamp ``--prefetch``.
+
+    ``None`` (flag absent) keeps the serial build-then-eval loop.  A
+    lookahead below 1 prefetches nothing — a configuration error, not
+    a clampable preference, so it fails fast (the ``--nodes`` posture).
+    Looking ahead far past the evaluation workers cannot help — the
+    consumer drains at most ``workers`` shards' worth of work at a
+    time, and every prefetched shard holds memory — so requests beyond
+    ``max(2, workers)`` are clamped with a warning (the ``--workers``
+    posture; the floor of 2 keeps build/eval overlap available even
+    for a single-worker sweep).
+    """
+    if requested is None:
+        return 0
+    if requested < 1:
+        raise SystemExit(f"--prefetch must be >= 1 (got {requested})")
+    cap = max(2, workers)
+    if requested > cap:
+        print(f"warning: --prefetch {requested} exceeds the useful "
+              f"lookahead for {workers} worker(s); using {cap}")
+        return cap
     return requested
 
 
@@ -326,6 +377,9 @@ def _cmd_table2_service(args: argparse.Namespace) -> int:
              getattr(args, "breaker_cooldown", None) is not None),
             ("--spill-dir", args.spill_dir is not None),
             ("--run-dir", args.run_dir is not None),
+            ("--prefetch", getattr(args, "prefetch", None) is not None),
+            ("--prefetch-builder",
+             getattr(args, "prefetch_builder", "thread") != "thread"),
             ("--no-resume", args.no_resume)):
         if given:
             raise SystemExit(
@@ -425,10 +479,13 @@ def _cmd_table2_scaled(args: argparse.Namespace) -> int:
     seed = args.dataset_seed if args.dataset_seed is not None else 0
     harness = EvaluationHarness()
     runner = _build_runner(args, harness)
+    prefetch = _effective_prefetch(
+        getattr(args, "prefetch", None), runner.workers)
     report = run_scaled_table2(
         names, limit, seed, samples=samples,
         shard_size=args.shard_size, runner=runner,
-        spill_dir=args.spill_dir)
+        spill_dir=args.spill_dir, prefetch=prefetch,
+        prefetch_builder=getattr(args, "prefetch_builder", "thread"))
     print(f"scaled sweep: {report.dataset_name} "
           f"({limit} questions, {samples} sample(s))\n")
     print(render_table2(report.table2_results(),
@@ -460,6 +517,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     if (args.limit is not None or args.dataset_seed is not None
             or args.samples != 1):
         return _cmd_table2_scaled(args)
+    if getattr(args, "prefetch", None) is not None:
+        raise SystemExit(
+            "--prefetch applies to the scaled streaming path; give "
+            "--limit/--dataset-seed/--samples to enable it")
+    if getattr(args, "prefetch_builder", "thread") != "thread":
+        raise SystemExit(
+            "--prefetch-builder applies to the scaled streaming path; "
+            "give --limit/--dataset-seed/--samples to enable it")
     harness = EvaluationHarness()
     if args.models:
         models = [build_model(name) for name in args.models]
@@ -751,6 +816,20 @@ def build_parser() -> argparse.ArgumentParser:
     p2.add_argument("--shard-size", type=int, default=None, metavar="Q",
                     help="questions per build shard on the scaled "
                          "path (default: 142, one canonical cycle)")
+    p2.add_argument("--prefetch", type=int, default=None, metavar="K",
+                    help="overlap shard building with evaluation on "
+                         "the scaled path: keep up to K shards "
+                         "building or ready ahead of the evaluator "
+                         "(must be >= 1; clamped against --workers; "
+                         "artifacts stay byte-identical to the serial "
+                         "loop — see docs/PERF.md)")
+    p2.add_argument("--prefetch-builder", default="thread",
+                    choices=sorted(PREFETCH_BUILDERS),
+                    help="where --prefetch builds run: 'thread' "
+                         "(default; builder pool threads) or "
+                         "'process' (a child process pool — true "
+                         "build/eval parallelism on multi-core "
+                         "hosts)")
     p2.add_argument("--service", default=None, metavar="URL",
                     help="submit the sweep to a running eval-serve "
                          "instance at URL instead of executing "

@@ -268,6 +268,22 @@ class CommitLog:
             self._seq += 1
             return "committed"
 
+    def append_commit(self, unit_id: str, payload: str,
+                      node: str) -> Tuple[str, str]:
+        """Commit a unit straight from its serialized payload bytes.
+
+        The sha256 that enters the hash chain is computed over
+        ``payload`` **here, once** — callers holding only the bytes
+        need not pre-hash them, and the chain provably covers the exact
+        bytes that were checkpointed (no parse/re-dump hop in between).
+        Returns ``(status, digest)`` with the same
+        ``"committed"`` / ``"duplicate"`` / :class:`CommitConflict`
+        semantics as :meth:`commit`, so the digest can be carried on to
+        the other artifact tiers.
+        """
+        digest = payload_digest(payload)
+        return self.commit(unit_id, digest, node), digest
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._committed)
@@ -356,6 +372,11 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.digest_reuse = 0
+        #: sha256 of what this process last wrote per unit — lets a
+        #: duplicate commit (stolen lease, rebuilt checkpoint) skip the
+        #: redundant disk write instead of re-spilling identical bytes
+        self._written: Dict[str, str] = {}
 
     def key_for(self, unit: WorkUnit) -> Tuple[object, ...]:
         """Content-addressed store key of ``unit``'s result."""
@@ -392,21 +413,45 @@ class ResultStore:
             with self._lock:
                 self.quarantined += 1
                 self.misses += 1
+                # the disk entry is gone: a rebuild's put must rewrite
+                # even if it reproduces the exact bytes we spilled
+                self._written.pop(unit.unit_id, None)
             return None
         with self._lock:
             self.hits += 1
         return payload
 
-    def put(self, unit: WorkUnit, payload: str) -> None:
-        """Write ``unit``'s committed payload through to the tier."""
+    def put(self, unit: WorkUnit, payload: str,
+            digest: Optional[str] = None) -> None:
+        """Write ``unit``'s committed payload through to the tier.
+
+        ``digest`` is the payload's sha256 when the caller already
+        holds it (the serialize-once commit path always does); the
+        reuse is counted in ``store_digest_reuse`` and saves this tier
+        its own hash.  Either way the digest keys a write-dedup check:
+        re-committing bytes this process already spilled for the unit
+        (a stolen lease finishing twice, a rebuilt checkpoint) skips
+        the redundant disk write.
+        """
+        if digest is not None:
+            with self._lock:
+                self.digest_reuse += 1
+        else:
+            digest = payload_digest(payload)
+        with self._lock:
+            if self._written.get(unit.unit_id) == digest:
+                return
         self._store.put(self.key_for(unit), payload)
+        with self._lock:
+            self._written[unit.unit_id] = digest
 
     def counters(self) -> Dict[str, int]:
         """Traffic counters for the coordinator's stats block."""
         with self._lock:
             return {"store_hits": self.hits,
                     "store_misses": self.misses,
-                    "store_quarantined": self.quarantined}
+                    "store_quarantined": self.quarantined,
+                    "store_digest_reuse": self.digest_reuse}
 
 
 class Node:
@@ -988,8 +1033,11 @@ class SweepCoordinator:
                     with self._lock:
                         self._counters["duplicate_commits"] += 1
                 return
+            # serialize-once: the digest computed for the dedup gate
+            # above is the one the store and commit log record
             if (self.engine.commit_payload(unit, outcome.payload,
-                                           node.node_id) == "duplicate"):
+                                           node.node_id,
+                                           digest=digest) == "duplicate"):
                 # committed before (log survived, checkpoint did not):
                 # the rebuild reproduced the committed bytes
                 with self._lock:
@@ -1011,7 +1059,8 @@ class SweepCoordinator:
                 result, unit_stats, outcome.perf_delta)
             collected[unit_id] = result
             self.admission.record_success(model_key)
-            self.engine.unit_completed(unit, result)
+            self.engine.unit_completed(unit, result,
+                                       payload=outcome.payload)
             with self._lock:
                 self._terminal.add(unit_id)
         else:

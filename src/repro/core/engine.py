@@ -88,6 +88,8 @@ class EvalEngine:
         admission: Optional[AdmissionPolicy] = None,
         on_unit_complete: Optional[
             Callable[["WorkUnit", EvalResult], None]] = None,
+        on_unit_payload: Optional[
+            Callable[["WorkUnit", str], None]] = None,
     ) -> None:
         self.run_dir = Path(run_dir) if run_dir is not None else None
         self.resume = resume
@@ -95,6 +97,10 @@ class EvalEngine:
                                   or results_io.atomic_write_text)
         self.admission = admission or AdmissionPolicy()
         self.on_unit_complete = on_unit_complete
+        #: byte-level completion hook: receives each unit's canonical
+        #: checkpoint payload verbatim (serialize-once; the service's
+        #: result stream attaches here)
+        self.on_unit_payload = on_unit_payload
         #: exactly-once accounting, attached per run by coordinated
         #: drivers (duck-typed: ``committed(unit_id)`` / ``commit``)
         self.commit_log = None
@@ -111,9 +117,14 @@ class EvalEngine:
 
         ``telemetry=False`` keeps checkpoints canonical across worker
         counts, retry histories and drivers; the timing side lives in
-        ``manifest.json``.
+        ``manifest.json``.  This is the **serialize-once** site: drivers
+        call it exactly once per completed unit and pass the bytes (and
+        their digest) through checkpoint, store, commit log and stream
+        verbatim.  Each call is credited to the ``serialize`` stage
+        timer, so redundant serialization shows up as counted calls.
         """
-        return results_io.dumps(result, telemetry=False) + "\n"
+        with perfstats.stage("serialize"):
+            return results_io.dumps(result, telemetry=False) + "\n"
 
     @staticmethod
     def matches(result: EvalResult, unit: "WorkUnit") -> bool:
@@ -193,11 +204,13 @@ class EvalEngine:
                 elif log is None:
                     return result
                 else:
-                    digest = payload_digest(self.canonical_payload(result))
+                    canonical = self.canonical_payload(result)
                     if committed is None:
-                        log.commit(unit_id, digest, "resume")
+                        # the chain digest is computed over the exact
+                        # canonical bytes, inside the log, once
+                        log.append_commit(unit_id, canonical, "resume")
                         return result
-                    if digest == committed:
+                    if payload_digest(canonical) == committed:
                         return result
                     unit_stats.corrupt_checkpoints += 1
         if self.store is not None:
@@ -207,7 +220,7 @@ class EvalEngine:
                     self.checkpoint_writer(
                         self.run_dir / f"{unit_id}.jsonl", payload)
                 if log is not None and committed is None:
-                    log.commit(unit_id, payload_digest(payload), "store")
+                    log.append_commit(unit_id, payload, "store")
                 return results_io.loads(payload)
         return None
 
@@ -219,29 +232,46 @@ class EvalEngine:
         path = self.checkpoint_path(unit)
         if path is None:
             return
-        self.checkpoint_writer(path, self.canonical_payload(result))
+        payload = self.canonical_payload(result)
+        with perfstats.stage("commit"):
+            self.checkpoint_writer(path, payload)
+
+    def checkpoint_bytes(self, unit: "WorkUnit", payload: str) -> None:
+        """Write an already-serialized checkpoint payload verbatim."""
+        path = self.checkpoint_path(unit)
+        if path is None:
+            return
+        with perfstats.stage("commit"):
+            self.checkpoint_writer(path, payload)
 
     def commit_payload(self, unit: "WorkUnit", payload: str,
-                       node: str) -> str:
+                       node: str, digest: Optional[str] = None) -> str:
         """Write one already-serialized payload through every attached
         tier — checkpoint, shared store, commit log — and return the
         commit status (``"committed"``, ``"duplicate"``, or
         ``"untracked"`` when no log is attached).
+
+        ``digest`` is the payload's sha256 when the caller already
+        computed it (the coordinator's dedup gate does); it is computed
+        here exactly once otherwise and carried verbatim into the store
+        and the commit log — no tier re-hashes the bytes.
 
         The exactly-once gate lives in the log: a re-executed unit
         whose bytes match the committed digest is a counted duplicate,
         a mismatch raises
         :class:`~repro.core.coordinator.CommitConflict`.
         """
-        if self.run_dir is not None:
-            self.checkpoint_writer(
-                self.run_dir / f"{unit.unit_id}.jsonl", payload)
-        if self.store is not None:
-            self.store.put(unit, payload)
-        if self.commit_log is None:
-            return "untracked"
-        return self.commit_log.commit(
-            unit.unit_id, payload_digest(payload), node)
+        with perfstats.stage("commit"):
+            if digest is None:
+                digest = payload_digest(payload)
+            if self.run_dir is not None:
+                self.checkpoint_writer(
+                    self.run_dir / f"{unit.unit_id}.jsonl", payload)
+            if self.store is not None:
+                self.store.put(unit, payload, digest=digest)
+            if self.commit_log is None:
+                return "untracked"
+            return self.commit_log.commit(unit.unit_id, digest, node)
 
     # -- per-unit epilogue ---------------------------------------------------
 
@@ -274,11 +304,24 @@ class EvalEngine:
         unit_stats.status = "fast_failed"
         unit_stats.error = error
 
-    def unit_completed(self, unit: "WorkUnit",
-                       result: EvalResult) -> None:
-        """Fire the completion hook (resumed and fresh units alike)."""
+    def unit_completed(self, unit: "WorkUnit", result: EvalResult,
+                       payload: Optional[str] = None) -> None:
+        """Fire the completion hooks (resumed and fresh units alike).
+
+        ``payload`` is the unit's canonical checkpoint bytes when the
+        driver already holds them; the byte-level ``on_unit_payload``
+        hook (the service result stream) receives them verbatim instead
+        of re-serialising the result.  Drivers that never produced the
+        bytes (a resume from an in-memory artifact) leave ``payload``
+        unset and the hook serialises once on their behalf.
+        """
         if self.on_unit_complete is not None:
             self.on_unit_complete(unit, result)
+        if self.on_unit_payload is not None:
+            if payload is None:
+                payload = self.canonical_payload(result)
+            with perfstats.stage("stream"):
+                self.on_unit_payload(unit, payload)
 
     # -- manifest + outcome --------------------------------------------------
 

@@ -316,8 +316,15 @@ def process_worker(spec: UnitSpec, options: WorkerOptions) -> WorkerResult:
     error: Optional[str] = None
     status = "completed"
     try:
+        eval_start = time.perf_counter_ns()
         result = runner.evaluate_unit(unit, unit_stats, deadline)
-        payload = results_io.dumps(result, telemetry=False) + "\n"
+        perfstats.record_stage(
+            "eval", time.perf_counter_ns() - eval_start)
+        # the worker-side serialize-once site: these bytes cross the
+        # process boundary and are checkpointed/streamed verbatim by
+        # the parent (stage time rides home in perf_delta)
+        with perfstats.stage("serialize"):
+            payload = results_io.dumps(result, telemetry=False) + "\n"
     except DeadlineExceeded as exc:
         status, error = "timed_out", f"{type(exc).__name__}: {exc}"
     except ModelCallError as exc:

@@ -29,9 +29,14 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Any, Callable, ContextManager, Dict, Hashable, Iterator, List,
+    Optional, Tuple,
+)
 
 
 class CacheStats:
@@ -356,6 +361,131 @@ _REGISTRY_LOCK = threading.Lock()
 _REGISTRY: Dict[str, LruCache] = {}
 
 
+# -- per-stage hot-path timers ------------------------------------------------
+
+#: Registry entry name the stage timers publish under in :func:`snapshot`.
+STAGE_TIMINGS_NAME = "stage_timings"
+
+#: Stage names the sweep pipeline records (see docs/PERF.md): time the
+#: evaluator spent blocked waiting for a shard build, evaluating,
+#: serialising canonical payloads, committing artifacts (checkpoint +
+#: store + commit log), and streaming results to observers.
+PIPELINE_STAGES = ("build_wait", "eval", "serialize", "commit", "stream")
+
+
+class StageTimings:
+    """Thread-safe per-stage wall-clock accumulators.
+
+    Durations are integer **nanoseconds** (``{stage}_ns``) with a call
+    count (``{stage}_calls``), so a stage entry merges through
+    :func:`merge_counters` / :func:`delta` exactly like any cache
+    counter — which is what carries worker-process stage time back to
+    the parent on each :class:`~repro.core.executor.WorkerResult`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ns: Dict[str, int] = {}
+        self._calls: Dict[str, int] = {}
+
+    def add(self, stage: str, ns: int, calls: int = 1) -> None:
+        with self._lock:
+            self._ns[stage] = self._ns.get(stage, 0) + int(ns)
+            self._calls[stage] = self._calls.get(stage, 0) + calls
+
+    @contextmanager
+    def timed(self, stage: str) -> Iterator[None]:
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter_ns() - start)
+
+    def snapshot(self) -> Dict[str, int]:
+        """``{stage}_ns`` + ``{stage}_calls`` for every recorded stage.
+
+        Empty until a stage has been timed, so runs that never touch
+        the pipeline keep the historical snapshot shape byte-for-byte.
+        """
+        with self._lock:
+            data: Dict[str, int] = {}
+            for name in sorted(self._ns):
+                data[f"{name}_ns"] = self._ns[name]
+                data[f"{name}_calls"] = self._calls.get(name, 0)
+            return data
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ns.clear()
+            self._calls.clear()
+
+
+_STAGES = StageTimings()
+
+
+def stage(name: str) -> "ContextManager[None]":
+    """Time one pipeline stage: ``with perfstats.stage("commit"): ...``."""
+    return _STAGES.timed(name)
+
+
+def record_stage(name: str, ns: int, calls: int = 1) -> None:
+    """Credit ``ns`` nanoseconds to ``name`` without a context manager
+    (for durations measured elsewhere, e.g. a worker's wall time)."""
+    _STAGES.add(name, ns, calls)
+
+
+def stage_snapshot() -> Dict[str, int]:
+    """The stage timers alone (a view into :func:`snapshot`'s entry)."""
+    return _STAGES.snapshot()
+
+
+def stage_seconds(counters: Dict[str, Dict[str, int]],
+                  name: str) -> float:
+    """One stage's accumulated seconds out of a snapshot-shaped dict."""
+    entry = counters.get(STAGE_TIMINGS_NAME, {})
+    return entry.get(f"{name}_ns", 0) / 1e9
+
+
+# -- consumer idle windows ----------------------------------------------------
+
+_IDLE_LOCK = threading.Lock()
+_IDLE_DEPTH = 0
+_IDLE_EVENT = threading.Event()
+
+
+@contextmanager
+def idle_window(stage_name: str = "transport_wait") -> Iterator[None]:
+    """Mark a window in which the calling thread is blocked off-CPU.
+
+    Transport layers wrap their latency waits (a socket read, a
+    simulated endpoint's sleep) in this context.  Two things happen:
+    the wait is credited to the ``stage_name`` stage timer, and a
+    process-wide event (:func:`idle_event`) is raised for as long as at
+    least one window is open — the hint background workers (the shard
+    prefetcher's builder pool on single-CPU hosts) use to schedule
+    their CPU bursts inside the waits of the foreground consumer
+    instead of timeslicing against its compute phases.
+    """
+    global _IDLE_DEPTH
+    with _IDLE_LOCK:
+        _IDLE_DEPTH += 1
+        _IDLE_EVENT.set()
+    start = time.perf_counter_ns()
+    try:
+        yield
+    finally:
+        record_stage(stage_name, time.perf_counter_ns() - start)
+        with _IDLE_LOCK:
+            _IDLE_DEPTH -= 1
+            if _IDLE_DEPTH == 0:
+                _IDLE_EVENT.clear()
+
+
+def idle_event() -> threading.Event:
+    """The event raised while any :func:`idle_window` is open."""
+    return _IDLE_EVENT
+
+
 def register(name: str, cache: LruCache) -> LruCache:
     """Register ``cache`` under ``name`` (last registration wins)."""
     with _REGISTRY_LOCK:
@@ -376,10 +506,22 @@ def cache_names() -> List[str]:
 
 
 def snapshot() -> Dict[str, Dict[str, int]]:
-    """Counters of every registered cache, keyed by cache name."""
+    """Counters of every registered cache, keyed by cache name.
+
+    When any pipeline stage has been timed, a
+    :data:`STAGE_TIMINGS_NAME` entry rides along in the same shape —
+    integer counters keyed by name — so stage time flows through the
+    existing ``RunStats`` → manifest → ``--cache-stats`` / ``/metrics``
+    plumbing without a parallel channel.
+    """
     with _REGISTRY_LOCK:
         caches = dict(_REGISTRY)
-    return {name: cache.snapshot() for name, cache in sorted(caches.items())}
+    data = {name: cache.snapshot()
+            for name, cache in sorted(caches.items())}
+    stages = _STAGES.snapshot()
+    if stages:
+        data[STAGE_TIMINGS_NAME] = stages
+    return data
 
 
 def delta(before: Dict[str, Dict[str, int]],
@@ -476,3 +618,4 @@ def reset() -> None:
         caches = list(_REGISTRY.values())
     for cache in caches:
         cache.reset()
+    _STAGES.reset()

@@ -39,8 +39,23 @@ def _digest(text: str) -> str:
 
 
 def question_digest(question: Question) -> str:
-    """Stable digest of a question's full serialised content."""
-    return _digest(question.to_json())
+    """Stable digest of a question's full serialised content.
+
+    Memoised on the instance: every cache-key computation serialises the
+    question twice (once directly, once through its category cohort),
+    and shard caching reuses the same ``Question`` objects across units,
+    so the stage profiler showed this serialise-and-hash dominating the
+    runner's ``eval``-stage CPU.  ``Question`` is a frozen dataclass —
+    its content cannot change after construction — so the digest is
+    stashed on the instance the first time and reused verbatim;
+    ``dataclasses.replace`` builds a new instance and therefore a fresh
+    digest.
+    """
+    cached = question.__dict__.get("_content_digest")
+    if cached is None:
+        cached = _digest(question.to_json())
+        object.__setattr__(question, "_content_digest", cached)
+    return cached
 
 
 def cohort_digest(questions: Iterable[Question]) -> str:

@@ -425,6 +425,8 @@ class ParallelRunner:
         admission: Optional[AdmissionPolicy] = None,
         on_unit_complete: Optional[
             Callable[[WorkUnit, EvalResult], None]] = None,
+        on_unit_payload: Optional[
+            Callable[[WorkUnit, str], None]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -450,7 +452,8 @@ class ParallelRunner:
             run_dir=run_dir, resume=resume,
             checkpoint_writer=checkpoint_writer,
             admission=admission,
-            on_unit_complete=on_unit_complete)
+            on_unit_complete=on_unit_complete,
+            on_unit_payload=on_unit_payload)
         self.watchdog_interval = watchdog_interval
         self._clock = clock
         #: RunStats of the most recent :meth:`run` (for CLI summaries).
@@ -557,7 +560,9 @@ class ParallelRunner:
                         collected[unit.unit_id] = result
             else:
                 for unit in pending:
-                    result = self._execute(unit, units, stats)
+                    result = self._execute(
+                        unit, units, stats,
+                        defer_manifest=unit is pending[-1])
                     if result is not None:
                         collected[unit.unit_id] = result
         finally:
@@ -642,15 +647,16 @@ class ParallelRunner:
             model_key = unit.provider.name
             if outcome.status == "completed" and outcome.payload is not None:
                 unit_stats.status = "completed"
-                path = self.checkpoint_path(unit)
-                if path is not None:
-                    self._checkpoint_writer(path, outcome.payload)
+                # the worker already serialized the canonical payload;
+                # write and stream those bytes verbatim
+                self.engine.checkpoint_bytes(unit, outcome.payload)
                 result = results_io.loads(outcome.payload)
                 EvalEngine.attach_telemetry(
                     result, unit_stats, outcome.perf_delta)
                 collected[unit_id] = result
                 self.admission.record_success(model_key)
-                self.engine.unit_completed(unit, result)
+                self.engine.unit_completed(unit, result,
+                                           payload=outcome.payload)
             else:
                 unit_stats.status = outcome.status
                 unit_stats.error = outcome.error
@@ -688,12 +694,21 @@ class ParallelRunner:
                      result: Optional[EvalResult],
                      error: Optional[BaseException], timed_out: bool,
                      start: float,
-                     perf_before: Dict[str, Dict[str, int]]
-                     ) -> Optional[EvalResult]:
+                     perf_before: Dict[str, Dict[str, int]],
+                     defer_manifest: bool = False) -> Optional[EvalResult]:
         """Shared unit epilogue: telemetry, checkpoint, breaker record,
         manifest write — identical across sync and async execution,
-        which is what keeps their artifacts byte-identical."""
+        which is what keeps their artifacts byte-identical.
+
+        ``defer_manifest`` skips the progress-manifest write; the serial
+        loop sets it for its final unit only, because
+        :meth:`EvalEngine.finalize` rewrites the manifest (with the same
+        stats plus the perf snapshot) immediately after the loop ends —
+        the per-unit write exists for mid-run crash visibility, and after
+        the last unit there is no mid-run left."""
         unit_stats.wall_time_s = time.perf_counter() - start
+        perfstats.record_stage("eval",
+                               int(unit_stats.wall_time_s * 1e9))
         # Substrate-cache movement while this unit ran.  The perfstats
         # counters are process-global, so under parallel workers the
         # delta attributes concurrent units' lookups too — it is a
@@ -702,20 +717,29 @@ class ParallelRunner:
         perf_moved = perfstats.delta(perf_before, perfstats.snapshot())
         if result is not None:
             unit_stats.status = "completed"
-            self._checkpoint(unit, result)
+            # serialize-once: the same bytes are the checkpoint
+            # artifact *and* the stream payload; no tier re-encodes
+            # the result (skipped entirely when nothing consumes them)
+            payload = None
+            if (self.engine.run_dir is not None
+                    or self.engine.on_unit_payload is not None):
+                payload = self.engine.canonical_payload(result)
+                self.engine.checkpoint_bytes(unit, payload)
             EvalEngine.attach_telemetry(result, unit_stats, perf_moved)
             self.admission.record_success(model_key)
-            self.engine.unit_completed(unit, result)
+            self.engine.unit_completed(unit, result, payload=payload)
         else:
             unit_stats.status = "timed_out" if timed_out else "failed"
             unit_stats.error = f"{type(error).__name__}: {error}"
             self.admission.record_failure(model_key, unit_stats.error)
         stats.record_perf_caches(perfstats.snapshot())
-        self._write_manifest(all_units, stats)
+        if not defer_manifest:
+            self._write_manifest(all_units, stats)
         return result
 
     def _execute(self, unit: WorkUnit, all_units: Sequence[WorkUnit],
-                 stats: RunStats) -> Optional[EvalResult]:
+                 stats: RunStats, *,
+                 defer_manifest: bool = False) -> Optional[EvalResult]:
         begun = self._begin_unit(unit, all_units, stats)
         if begun is None:
             return None
@@ -737,7 +761,8 @@ class ParallelRunner:
                 self._watchdog.unregister(unit.unit_id)
         return self._finish_unit(unit, all_units, stats, unit_stats,
                                  model_key, result, error, timed_out,
-                                 start, perf_before)
+                                 start, perf_before,
+                                 defer_manifest=defer_manifest)
 
     async def _execute_async(self, unit: WorkUnit,
                              all_units: Sequence[WorkUnit], stats: RunStats,

@@ -175,6 +175,8 @@ def run_scaled_table2(
     backend: Optional[str] = None,
     spill_dir: "Optional[Path | str]" = None,
     window_shards: Optional[int] = None,
+    prefetch: int = 0,
+    prefetch_builder: str = "thread",
 ) -> SweepReport:
     """Evaluate registry models over a scaled collection, streaming.
 
@@ -196,6 +198,19 @@ def run_scaled_table2(
     anything else runs nodes inline).  The two knobs are exclusive —
     pass ``workers`` *or* ``nodes``, not both.
 
+    ``prefetch=k`` (k >= 1) overlaps shard building with evaluation: a
+    :class:`~repro.core.pipeline.ShardPrefetcher` builder pool keeps up
+    to ``k`` shards building or ready while the current window
+    evaluates, delivered in shard order so the artifacts stay
+    byte-identical to the serial loop's (``prefetch=0``).  Memory grows
+    to O(prefetch × shard); time the sweep still spends blocked on
+    builds is visible as the ``build_wait`` stage in
+    :attr:`SweepReport.perf_caches` (charged in both modes, so the
+    overlap win is directly measurable).  ``prefetch_builder`` picks
+    the pool: ``"thread"`` (default, zero setup) or ``"process"``
+    (true build/eval parallelism on CPython — see
+    :class:`~repro.core.pipeline.ShardPrefetcher`).
+
     Returns a :class:`SweepReport`; per-window runner stats are folded
     into :attr:`SweepReport.perf_caches` with
     :func:`repro.core.perfstats.merge_counters` (the ``dataset_build``
@@ -210,6 +225,14 @@ def run_scaled_table2(
         raise ValueError("no models")
     if nodes < 1:
         raise ValueError("nodes must be >= 1")
+    if prefetch < 0:
+        raise ValueError("prefetch must be >= 0")
+    from repro.core.pipeline import PREFETCH_BUILDERS
+
+    if prefetch_builder not in PREFETCH_BUILDERS:
+        raise ValueError(
+            f"unknown prefetch builder {prefetch_builder!r}; "
+            f"choose from {PREFETCH_BUILDERS}")
     harness = harness or EvaluationHarness()
     if runner is None:
         runner = build_driver(
@@ -250,6 +273,20 @@ def run_scaled_table2(
                 accumulators[(base, setting, s)] = result
                 multi.add_sample(result)
     perf: Dict[str, Dict[str, int]] = {}
+    prefetcher = None
+    if prefetch:
+        from repro.core.pipeline import ShardPrefetcher
+
+        if spill_dir is not None:
+            # builders start immediately; attach the disk tier first so
+            # the very first background builds can spill/serve warm
+            enable_build_cache(spill_dir)
+        prefetcher = ShardPrefetcher(
+            {setting: streams[setting] for setting in settings},
+            lookahead=prefetch,
+            workers=min(prefetch, 2),
+            builder=prefetch_builder,
+            spill_dir=spill_dir).start()
     try:
         for window_start in range(0, stream.num_shards, window_shards):
             if spill_dir is not None:
@@ -265,10 +302,16 @@ def run_scaled_table2(
             units: List[WorkUnit] = []
             keys: List[tuple] = []
             for index in window:
-                shard_by_setting = {
-                    setting: streams[setting].shard(index)
-                    for setting in settings
-                }
+                if prefetcher is not None:
+                    # in-order delivery: builders may finish out of
+                    # order, the consumer never observes it
+                    shard_by_setting = prefetcher.get(index)
+                else:
+                    with perfstats.stage("build_wait"):
+                        shard_by_setting = {
+                            setting: streams[setting].shard(index)
+                            for setting in settings
+                        }
                 for base in models:
                     for setting in settings:
                         for s in range(samples):
@@ -285,6 +328,8 @@ def run_scaled_table2(
                 perfstats.merge_counters(perf,
                                          runner.last_stats.perf_caches)
     finally:
+        if prefetcher is not None:
+            prefetcher.close()
         if spill_dir is not None:
             # scoped to the sweep, mirroring the runner's own spill scope
             disable_build_cache()

@@ -134,6 +134,13 @@ def answers_equivalent(question: Question, response: str) -> bool:
     spec: AnswerSpec = question.answer
     if question.is_multiple_choice:
         return choice_equivalent(question, response)
+    if response == spec.text and normalize_text(response):
+        # reflexive fast path: a non-MC response that *is* the gold
+        # surface form verbatim is equivalent by definition — every
+        # kind's decision procedure below answers True for gold-vs-gold
+        # — so skip the parse/normalise pipeline entirely.  (MC stays
+        # on the full path: its distractor-ambiguity guard can veto.)
+        return True
     gold = spec.text
     if spec.kind is AnswerKind.NUMERIC:
         if numeric_equivalent(gold, response, spec.rel_tol, spec.unit):

@@ -9,6 +9,7 @@ engineering unit prefixes, option letters are extracted from phrasings like
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Optional, Tuple
 
 _SI_PREFIXES = {
@@ -59,11 +60,19 @@ _LEADIN_RE = re.compile(
     re.IGNORECASE)
 
 
+@lru_cache(maxsize=65536)
 def normalize_text(text: str) -> str:
     """Case-fold, strip punctuation and collapse whitespace.
 
     Single quotes are preserved: they are boolean complements in this
     domain (``S'A`` and ``SA`` are different functions).
+
+    Memoised: the judge normalises every response against the gold text
+    plus each alias, and large sweeps repeat the same surface forms
+    (choice letters, shared aliases, variant-derived golds) millions of
+    times — the stage profiler showed this pure function dominating the
+    ``eval`` stage's judge share.  The function is deterministic over an
+    immutable input, so caching cannot change any verdict.
     """
     lowered = text.strip().lower()
     lowered = re.sub(r"[\"`*_]", "", lowered)

@@ -50,6 +50,7 @@ from typing import (
     Sequence, Set, runtime_checkable,
 )
 
+from repro.core import perfstats
 from repro.core.faults import PermanentError, TransientModelError
 from repro.core.question import Question
 from repro.models.vlm import ModelAnswer, SimulatedVLM
@@ -381,7 +382,11 @@ class RemoteStubProvider:
         if latency:
             with self._lock:
                 self.simulated_latency_s += latency
-            self._sleep(latency)
+            # the wait is dead air on this thread: publish it as an
+            # idle window so background builders can schedule their
+            # CPU bursts inside it (see perfstats.idle_window)
+            with perfstats.idle_window():
+                self._sleep(latency)
         self._inject_faults(key)
 
     async def _simulate_transport_async(self, key: str) -> None:
@@ -392,7 +397,8 @@ class RemoteStubProvider:
         if latency:
             with self._lock:
                 self.simulated_latency_s += latency
-            await self._async_sleep(latency)
+            with perfstats.idle_window():
+                await self._async_sleep(latency)
         self._inject_faults(key)
 
     def answer_batch(self, questions: Sequence[Question], setting: str,

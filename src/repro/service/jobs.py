@@ -54,7 +54,6 @@ from collections import deque
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.core.engine import EvalEngine
 from repro.core.resilience import (
     AdmissionPolicy,
     CircuitBreaker,
@@ -385,8 +384,12 @@ class JobQueue:
             run_dir=job.run_dir,
             backend=str(spec["backend"]),  # type: ignore[index]
             admission=self._job_admission(job),
-            on_unit_complete=lambda unit, result: job.append_result(
-                EvalEngine.canonical_payload(result)),
+            # serialize-once: the stream receives each unit's canonical
+            # checkpoint bytes verbatim instead of re-encoding the
+            # result (the engine times the hand-off as the ``stream``
+            # stage)
+            on_unit_payload=lambda unit, payload: job.append_result(
+                payload),
         )
         outcome = runner.run(units)
         job.units_failed = len(outcome.failures)

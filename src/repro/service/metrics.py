@@ -19,6 +19,8 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional
 
+from repro.core.perfstats import STAGE_TIMINGS_NAME
+
 #: Metric suffix per perf-cache counter key (``size`` is a gauge of
 #: current occupancy; everything else accumulates).
 _CACHE_COUNTERS = ("hits", "misses", "evictions", "size",
@@ -98,7 +100,10 @@ def render_prometheus(
             f"repro_run_wall_time_seconds {_fmt(stats.total_wall_time())}")
         if perf_caches is None:
             perf_caches = stats.perf_caches
+    stages: Dict[str, int] = {}
     if perf_caches:
+        perf_caches = dict(perf_caches)
+        stages = perf_caches.pop(STAGE_TIMINGS_NAME, {})
         for counter in _CACHE_COUNTERS:
             relevant = {name: entry for name, entry in perf_caches.items()
                         if counter in entry}
@@ -113,6 +118,22 @@ def render_prometheus(
                 lines.append(
                     f'{metric}{{cache="{_sanitize(name)}"}} '
                     f"{_fmt(relevant[name][counter])}")
+    if stages:
+        names = sorted({key[:-3] for key in stages
+                        if key.endswith("_ns")})
+        _family(lines, "repro_stage_seconds_total",
+                "Pipeline hot-path time by stage (docs/PERF.md)",
+                "counter")
+        for name in names:
+            lines.append(
+                f'repro_stage_seconds_total{{stage="{_sanitize(name)}"}} '
+                f"{_fmt(stages.get(name + '_ns', 0) / 1e9)}")
+        _family(lines, "repro_stage_calls_total",
+                "Pipeline hot-path invocations by stage", "counter")
+        for name in names:
+            lines.append(
+                f'repro_stage_calls_total{{stage="{_sanitize(name)}"}} '
+                f"{_fmt(stages.get(name + '_calls', 0))}")
     coordinator = (getattr(stats, "coordinator", None) or {}
                    if stats is not None else {})
     if coordinator:

@@ -612,3 +612,45 @@ class TestScaledSweepResume:
                 == clean_summary.read_bytes())
         # and the run directory's checkpoints converged byte-for-byte
         assert run_dir_digest(chaos_dir) == run_dir_digest(clean_dir)
+
+    def test_killed_prefetch_sweep_converges_byte_identical(
+            self, tmp_path):
+        """Same kill-and-relaunch drill with the prefetch pipeline on:
+        overlapped shard builds must not perturb checkpoint bytes,
+        commit order, or the summary artifact."""
+        from repro.core.sweep import run_scaled_table2
+
+        def summarise(report, path):
+            return results_io.write_summary(
+                path, report.passk_summary(ks=(1, 2)))
+
+        clean_dir = tmp_path / "clean"
+        clean = run_scaled_table2(["gpt-4o"], total=60, seed=3,
+                                  samples=2, shard_size=20,
+                                  run_dir=clean_dir)
+        clean_summary = summarise(clean, clean_dir / "sweep_summary.json")
+        stems = sorted(p.stem for p in clean_dir.glob("*__*.jsonl"))
+        assert len(stems) == 12  # 1 model x 2 settings x 2 samples x 3
+
+        chaos_dir = tmp_path / "chaos"
+        writer = ChaosCheckpointWriter(crash_on={stems[5]})
+        report = None
+        for _ in range(4):
+            runner = SweepCoordinator(nodes=2, run_dir=chaos_dir,
+                                      checkpoint_writer=writer)
+            try:
+                report = run_scaled_table2(["gpt-4o"], total=60, seed=3,
+                                           samples=2, shard_size=20,
+                                           runner=runner, prefetch=2)
+            except SimulatedCrash:
+                continue  # prefetcher torn down with the "process"
+            break
+        else:
+            pytest.fail("prefetch sweep did not converge after kills")
+        assert writer.crashes == [stems[5]]
+
+        chaos_summary = summarise(report,
+                                  chaos_dir / "sweep_summary.json")
+        assert (chaos_summary.read_bytes()
+                == clean_summary.read_bytes())
+        assert run_dir_digest(chaos_dir) == run_dir_digest(clean_dir)

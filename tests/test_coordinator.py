@@ -158,7 +158,8 @@ class TestResultStore:
         assert store.get(unit, expected_sha256=payload_digest(payload)) \
             == payload
         assert store.counters() == {"store_hits": 2, "store_misses": 1,
-                                    "store_quarantined": 0}
+                                    "store_quarantined": 0,
+                                    "store_digest_reuse": 0}
 
     def test_bit_flip_is_quarantined_not_fatal(self, chipvqa, tmp_path):
         unit = _units(chipvqa, ("gpt-4o",))[0]
